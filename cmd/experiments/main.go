@@ -1,0 +1,276 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// and table of Sections 5–7 (see DESIGN.md's experiment index). Output is
+// plain text, one block per experiment, with workloads as rows and
+// schemes as series — the same rows the paper plots.
+//
+// Usage:
+//
+//	experiments                 # everything (several minutes)
+//	experiments -exp fig12      # one experiment
+//	experiments -instr 100000   # cheaper runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ladder"
+	"ladder/internal/core"
+	"ladder/internal/sim"
+	"ladder/internal/timing"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig2 fig4 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table4 storage lifetime ablation wear vwlmode crash cachesize lowrows fnw all")
+		instr = flag.Uint64("instr", 150_000, "instructions per core per run")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	opts := ladder.Options{Instr: *instr, Seed: *seed}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	// Cheap analytic experiments first.
+	if want("table4") {
+		printTable4()
+	}
+	if want("storage") {
+		printStorage()
+	}
+	if want("fig4") || want("fig11") {
+		printLatencyModel(want)
+	}
+
+	if want("fig2") {
+		grid := mustGrid(ladder.Options{Instr: *instr, Seed: *seed, Workloads: ladder.SingleWorkloads()},
+			[]string{ladder.SchemeBaseline, ladder.SchemeLocAware, ladder.SchemeOracle})
+		printRows("Figure 2 — normalized IPC (worst-case vs location-aware vs data/location-aware)",
+			grid.Speedup(), grid.Schemes)
+	}
+
+	needGrid := want("fig12") || want("fig13") || want("fig14") || want("fig16") || want("fig17") || want("lifetime") || want("fnw")
+	if needGrid {
+		schemes := ladder.FigureSchemes()
+		grid := mustGrid(opts, schemes)
+		if want("fig12") {
+			printRows("Figure 12 — normalized average write service time", grid.WriteServiceTime(), schemes)
+		}
+		if want("fig13") {
+			printRows("Figure 13 — normalized average read latency", grid.ReadLatency(), schemes)
+		}
+		if want("fig14") {
+			ladders := []string{ladder.SchemeBasic, ladder.SchemeEst, ladder.SchemeHybrid}
+			printRows("Figure 14a — additional reads (fraction of baseline reads)", grid.ExtraReads(), ladders)
+			printRows("Figure 14b — additional writes (fraction of baseline writes)", grid.ExtraWrites(), ladders)
+		}
+		if want("fig16") {
+			printRows("Figure 16 — speedup over baseline (weighted IPC)", grid.Speedup(), schemes)
+		}
+		if want("fig17") {
+			printEnergy(grid)
+		}
+		if want("lifetime") {
+			printRows("Section 6.4 — relative lifetime under ideal wear leveling",
+				grid.RelativeLifetime(), []string{ladder.SchemeBasic, ladder.SchemeEst, ladder.SchemeHybrid})
+		}
+		if want("fnw") {
+			printRows("Section 6.1 — FNW flip cancellations (fraction of units; paper <4%)",
+				grid.FNWCancellation(), []string{ladder.SchemeBasic, ladder.SchemeEst, ladder.SchemeHybrid})
+		}
+	}
+
+	if want("fig15") {
+		grid := mustGrid(opts, []string{ladder.SchemeEstNoShift, ladder.SchemeEst})
+		printRows("Figure 15 — LRS-counter difference, LADDER-Est minus accurate",
+			grid.CounterDiffs(), []string{"without-shift", "with-shift"})
+	}
+
+	if want("ablation") {
+		rows, err := ladder.RangeAblation(opts, ladder.SchemeEst, 2)
+		if err != nil {
+			fail(err)
+		}
+		printRows("Section 7 — benefit retained with 2x shrunk latency range (paper ≈85%)",
+			rows, []string{"gain-full", "gain-shrunk", "retained"})
+	}
+
+	if want("wear") {
+		rows, err := ladder.WearLevelingImpact(opts, ladder.SchemeHybrid)
+		if err != nil {
+			fail(err)
+		}
+		printRows("Section 6.4 — IPC with VWL enabled relative to without (paper ≈99%)",
+			rows, []string{"ipc-ratio", "gap-moves"})
+	}
+
+	if want("vwlmode") {
+		rows, err := ladder.VWLModeComparison(opts, ladder.SchemeEst)
+		if err != nil {
+			fail(err)
+		}
+		printRows("Section 6.4 — segment vs line VWL (metadata reads per data write, IPC)",
+			rows, []string{"segment-metareads", "line-metareads", "segment-ipc", "line-ipc"})
+	}
+
+	if want("crash") {
+		rows, err := ladder.CrashRecoveryStudy(opts, ladder.SchemeEst)
+		if err != nil {
+			fail(err)
+		}
+		printRows("Section 7 — crash recovery with lazy conservative correction",
+			rows, []string{"pre-service-ns", "post-service-ns", "post-counter-gap"})
+	}
+
+	if want("cachesize") {
+		sub := ladder.Options{Instr: *instr, Seed: *seed,
+			Workloads: []string{"lbm", "mcf", "mix-7"}}
+		rows, err := ladder.CacheSizeSweep(sub, ladder.SchemeHybrid, nil)
+		if err != nil {
+			fail(err)
+		}
+		printRows("Section 6.3 — metadata cache size ablation (IPC vs default 64KB; paper <2% gain)",
+			rows, []string{"16KB", "32KB", "64KB", "128KB", "256KB"})
+	}
+
+	if want("lowrows") {
+		sub := ladder.Options{Instr: *instr, Seed: *seed,
+			Workloads: []string{"lbm", "mcf", "mix-7"}}
+		rows, err := ladder.LowPrecisionSweep(sub, nil)
+		if err != nil {
+			fail(err)
+		}
+		printRows("Section 4.2 — Hybrid precision-register ablation (avg write service ns)",
+			rows, []string{"rows=0 svc", "rows=64 svc", "rows=128 svc", "rows=256 svc", "rows=512 svc"})
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func mustGrid(opts ladder.Options, schemes []string) *ladder.Grid {
+	grid, err := ladder.RunGrid(opts, schemes)
+	if err != nil {
+		fail(err)
+	}
+	return grid
+}
+
+func printRows(title string, rows []sim.Row, series []string) {
+	fmt.Println("\n" + title)
+	fmt.Printf("%-10s", "workload")
+	for _, s := range series {
+		fmt.Printf("%*s", colWidth(s), s)
+	}
+	fmt.Println()
+	all := append(append([]sim.Row(nil), rows...), ladder.Average(rows))
+	for _, r := range all {
+		fmt.Printf("%-10s", r.Workload)
+		for _, s := range series {
+			fmt.Printf("%*.3f", colWidth(s), r.Values[s])
+		}
+		fmt.Println()
+	}
+}
+
+func colWidth(s string) int {
+	if w := len(s) + 2; w > 9 {
+		return w
+	}
+	return 9
+}
+
+func printEnergy(grid *ladder.Grid) {
+	fmt.Println("\nFigure 17 — dynamic memory energy normalized to baseline (read+write split)")
+	schemes := []string{ladder.SchemeSplitReset, ladder.SchemeBLP, ladder.SchemeBasic, ladder.SchemeEst, ladder.SchemeHybrid}
+	fmt.Printf("%-10s", "workload")
+	for _, s := range schemes {
+		fmt.Printf("%*s", colWidth(s), s)
+	}
+	fmt.Println("   (each cell: total = read+write)")
+	splits := grid.DynamicEnergy()
+	totals := make(map[string]float64)
+	for _, es := range splits {
+		fmt.Printf("%-10s", es.Workload)
+		for _, s := range schemes {
+			t := es.Read[s] + es.Write[s]
+			totals[s] += t
+			fmt.Printf("%*.3f", colWidth(s), t)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s", "AVG")
+	for _, s := range schemes {
+		fmt.Printf("%*.3f", colWidth(s), totals[s]/float64(len(splits)))
+	}
+	fmt.Println()
+}
+
+func printTable4() {
+	fmt.Println("\nTable 4 — LADDER controller hardware overhead (published synthesis results)")
+	fmt.Printf("%-32s %10s %10s %10s\n", "module", "area mm2", "power mW", "latency ns")
+	for _, m := range ladder.ControllerOverheads() {
+		fmt.Printf("%-32s %10.4f %10.2f %10.2f\n", m.Name, m.AreaMM2, m.PowerMW, m.LatencyNs)
+	}
+	fmt.Printf("on-chip timing tables: %d bytes\n", core.TimingTableBytes)
+}
+
+func printStorage() {
+	basic, est, hybrid := ladder.MetadataOverheads()
+	fmt.Println("\nSection 6.3 — LRS-metadata storage overhead (fraction of capacity)")
+	fmt.Printf("%-16s %8.4f%%  (paper: 3.12%%)\n", "LADDER-Basic", 100*basic)
+	fmt.Printf("%-16s %8.4f%%  (paper: 1.56%%)\n", "LADDER-Est", 100*est)
+	fmt.Printf("%-16s %8.4f%%  (paper: 0.97%%; see EXPERIMENTS.md)\n", "LADDER-Hybrid", 100*hybrid)
+}
+
+func printLatencyModel(want func(string) bool) {
+	ts, err := ladder.DefaultTables()
+	if err != nil {
+		fail(err)
+	}
+	params := ladder.DefaultCrossbarParams()
+	gran := params.N / timing.Buckets
+	if want("fig4") {
+		fmt.Println("\nFigure 4b — RESET latency (ns) vs WL LRS percentage, near and far cells")
+		near := ts.ContentCurve(0, 0)
+		far := ts.ContentCurve(params.N-1, params.N-1)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-10s %10s %10s\n", "WL LRS %", "near", "far")
+		for cb := 0; cb < timing.Buckets; cb++ {
+			pct := float64((cb+1)*gran) / float64(params.N) * 100
+			fmt.Fprintf(&b, "%-10.0f %10.1f %10.1f\n", pct, near[cb], far[cb])
+		}
+		fmt.Print(b.String())
+	}
+	if want("fig11") {
+		for _, c := range []struct {
+			name   string
+			bucket int
+		}{{"all-0s", 0}, {"all-1s", timing.Buckets - 1}} {
+			fmt.Printf("\nFigure 11 — latency surface (ns), WL pattern %s\n", c.name)
+			s := ts.Surface(c.bucket)
+			keys := make([]int, 0, timing.Buckets)
+			for i := 0; i < timing.Buckets; i++ {
+				keys = append(keys, (i+1)*gran-1)
+			}
+			sort.Ints(keys)
+			fmt.Printf("%-8s", "WL\\BL")
+			for _, k := range keys {
+				fmt.Printf("%8d", k)
+			}
+			fmt.Println()
+			for wb := 0; wb < timing.Buckets; wb++ {
+				fmt.Printf("%-8d", keys[wb])
+				for bb := 0; bb < timing.Buckets; bb++ {
+					fmt.Printf("%8.1f", s[wb][bb])
+				}
+				fmt.Println()
+			}
+		}
+	}
+}

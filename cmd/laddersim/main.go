@@ -1,0 +1,85 @@
+// Command laddersim runs one workload under one write scheme and prints
+// the measurements the paper's evaluation reports.
+//
+// Usage:
+//
+//	laddersim -workload lbm -scheme LADDER-Hybrid -instr 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ladder"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "lbm", "benchmark or mix name (see -list)")
+		scheme   = flag.String("scheme", ladder.SchemeHybrid, "write scheme")
+		instr    = flag.Uint64("instr", 200_000, "instructions per core")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		wear     = flag.Bool("wear", false, "enable segment-based vertical wear leveling")
+		shrink   = flag.Float64("shrink", 0, "shrink timing-table dynamic range by this factor (>1)")
+		verify   = flag.Bool("verify", false, "verify end-of-run read-back correctness")
+		traceIn  = flag.String("trace", "", "replay a recorded trace (see tracegen) instead of synthesizing")
+		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(ladder.Workloads(), " "))
+		fmt.Println("schemes:  ", strings.Join(ladder.SchemeNames(), " "))
+		return
+	}
+
+	res, err := ladder.Run(ladder.Config{
+		Workload:     *workload,
+		Scheme:       *scheme,
+		InstrPerCore: *instr,
+		Seed:         *seed,
+		WearLeveling: *wear,
+		ShrinkRange:  *shrink,
+		Verify:       *verify,
+		TraceFile:    *traceIn,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laddersim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload            %s\n", res.Workload)
+	fmt.Printf("scheme              %s\n", res.Scheme)
+	fmt.Printf("simulated time      %.2f us (%d cycles @4GHz)\n", float64(res.Ticks)/4000, res.Ticks)
+	for i, ipc := range res.PerCoreIPC {
+		fmt.Printf("core %d IPC          %.4f\n", i, ipc)
+	}
+	st := res.Stats
+	fmt.Printf("data reads          %d\n", st.DataReads)
+	fmt.Printf("data writes         %d\n", st.DataWrites)
+	fmt.Printf("SMB reads           %d\n", st.SMBReads)
+	fmt.Printf("metadata reads      %d (cache hits %d, misses %d)\n", st.MetaReads, st.MetaCacheHits, st.MetaCacheMisses)
+	fmt.Printf("metadata writes     %d\n", st.MetaWrites)
+	fmt.Printf("extra reads         %.1f%%\n", 100*st.ExtraReadFraction())
+	fmt.Printf("extra writes        %.1f%%\n", 100*st.ExtraWriteFraction())
+	fmt.Printf("avg write service   %.1f ns\n", st.AvgWriteServiceNs())
+	fmt.Printf("avg read latency    %.1f ns (p50 ≤ %.0f, p99 ≤ %.0f)\n",
+		st.AvgReadLatencyNs(), st.ReadLatencyPercentile(0.5), st.ReadLatencyPercentile(0.99))
+	if st.CounterDiffN > 0 {
+		fmt.Printf("avg counter gap     %.1f (estimated - accurate C_lrs)\n", st.AvgCounterDiff())
+	}
+	if st.FNWUnits > 0 {
+		fmt.Printf("FNW flips           %.1f%% of units (%.2f%% canceled by constraint)\n",
+			100*float64(st.FNWFlips)/float64(st.FNWUnits),
+			100*float64(st.FNWCanceled)/float64(st.FNWUnits))
+	}
+	fmt.Printf("dynamic energy      read %.1f nJ, write %.1f nJ\n", res.ReadNJ, res.WriteNJ)
+	if res.GapMoves > 0 {
+		fmt.Printf("VWL gap moves       %d\n", res.GapMoves)
+	}
+	if *verify {
+		fmt.Println("verification        PASS (all written lines decode to their logical content)")
+	}
+}

@@ -1,0 +1,89 @@
+// Command latmodel generates the RESET latency model from the crossbar
+// circuit simulation and prints the data behind Figure 4b (latency versus
+// wordline LRS content for near/far cells) and Figure 11 (the latency
+// surface over write location for the all-'0's and all-'1's content
+// extremes).
+//
+// Usage:
+//
+//	latmodel           # default 512x512 crossbar (Table 1)
+//	latmodel -n 128    # smaller crossbar, faster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ladder"
+	"ladder/internal/timing"
+)
+
+func main() {
+	var (
+		n   = flag.Int("n", 512, "crossbar dimension (divisible by 8)")
+		spd = flag.Bool("spd", false, "also dump the 512-byte SPD ROM image of the WL table")
+	)
+	flag.Parse()
+
+	params := ladder.DefaultCrossbarParams()
+	params.N = *n
+	fmt.Printf("crossbar %dx%d, RLRS=%.0f RHRS=%.0f nonlinearity=%.0f wire=%.1f ohm, Vw=%.1fV\n",
+		params.N, params.N, params.RLRS, params.RHRS, params.Nonlinearity, params.RWire, params.VWrite)
+
+	ts, err := ladder.NewTables(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latmodel:", err)
+		os.Exit(1)
+	}
+	gran := params.N / timing.Buckets
+	fmt.Printf("calibrated model: t = %.3g * exp(-%.3f * Vd) ns, clamped to [%d, %d] ns\n\n",
+		ts.Model.C, ts.Model.K, timing.MinLatencyNs, timing.MaxLatencyNs)
+
+	// Figure 4b: latency vs wordline LRS percentage for a near cell
+	// (close to both drivers) and a far cell (opposite corner).
+	fmt.Println("Figure 4b — RESET latency (ns) vs WL LRS percentage")
+	fmt.Printf("%-12s %12s %12s\n", "WL LRS %", "near cell", "far cell")
+	near := ts.ContentCurve(0, 0)
+	far := ts.ContentCurve(params.N-1, params.N-1)
+	for cb := 0; cb < timing.Buckets; cb++ {
+		pct := float64((cb+1)*gran) / float64(params.N) * 100
+		fmt.Printf("%-12.0f %12.1f %12.1f\n", pct, near[cb], far[cb])
+	}
+
+	if *spd {
+		rom := ts.WL.EncodeSPD()
+		fmt.Printf("\nSPD ROM image (%d bytes; Section 6.3 — programmed by the module vendor):\n", len(rom))
+		for i := 0; i < len(rom); i += 32 {
+			fmt.Printf("  %03x:", i)
+			for j := 0; j < 32; j++ {
+				fmt.Printf(" %02x", rom[i+j])
+			}
+			fmt.Println()
+		}
+	}
+
+	// Figure 11: latency surfaces at the two content extremes.
+	for _, cfg := range []struct {
+		name   string
+		bucket int
+	}{
+		{"all '0's (C_lrs bucket 0)", 0},
+		{"all '1's (C_lrs bucket 7)", timing.Buckets - 1},
+	} {
+		fmt.Printf("\nFigure 11 — RESET latency (ns) surface, WL pattern %s\n", cfg.name)
+		fmt.Printf("%-10s", "WL \\ BL")
+		for bb := 0; bb < timing.Buckets; bb++ {
+			fmt.Printf("%8d", (bb+1)*gran-1)
+		}
+		fmt.Println()
+		s := ts.Surface(cfg.bucket)
+		for wb := 0; wb < timing.Buckets; wb++ {
+			fmt.Printf("%-10d", (wb+1)*gran-1)
+			for bb := 0; bb < timing.Buckets; bb++ {
+				fmt.Printf("%8.1f", s[wb][bb])
+			}
+			fmt.Println()
+		}
+	}
+}

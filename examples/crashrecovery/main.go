@@ -1,0 +1,54 @@
+// Crashrecovery demonstrates the paper's Section 7 crash-consistency
+// story: a power failure loses the dirty LRS-metadata cached in the
+// memory controller, so the restored system overwrites the metadata
+// region with conservative maximum values (lazy correction). Writes right
+// after recovery use safe worst-case-ish timings; as blocks are
+// rewritten, counters re-tighten and service times recover.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ladder"
+)
+
+func main() {
+	const workload = "lbm"
+	const instr = 200_000
+
+	fmt.Printf("workload %s under LADDER-Est with a power failure at the midpoint\n\n", workload)
+
+	clean, err := ladder.Run(ladder.Config{
+		Workload: workload, Scheme: ladder.SchemeEst, InstrPerCore: instr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	crashed, err := ladder.Run(ladder.Config{
+		Workload: workload, Scheme: ladder.SchemeEst, InstrPerCore: instr,
+		CrashAtInstr: instr / 2,
+		Verify:       true, // data integrity holds across the crash
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pre, post := crashed.PreCrashStats, crashed.PostCrashStats
+	fmt.Printf("%-36s %10.1f ns\n", "clean run avg write service", clean.Stats.AvgWriteServiceNs())
+	fmt.Printf("%-36s %10.1f ns\n", "pre-crash avg write service", pre.AvgWriteServiceNs())
+	fmt.Printf("%-36s %10.1f ns\n", "post-recovery avg write service", post.AvgWriteServiceNs())
+	fmt.Printf("%-36s %10.1f counts\n", "pre-crash counter gap (est-true)", pre.AvgCounterDiff())
+	fmt.Printf("%-36s %10.1f counts\n", "post-recovery counter gap", post.AvgCounterDiff())
+	fmt.Println("\nThe post-recovery gap is large right after the conservative")
+	fmt.Println("correction and shrinks as rewritten blocks refresh their partial")
+	fmt.Println("counters; read-back verification passed, so no data was harmed.")
+	fmt.Printf("\nspeedup over a worst-case baseline, clean vs crashed: ")
+	base, err := ladder.Run(ladder.Config{
+		Workload: workload, Scheme: ladder.SchemeBaseline, InstrPerCore: instr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.2fx vs %.2fx\n", clean.WeightedSpeedup(base), crashed.WeightedSpeedup(base))
+}

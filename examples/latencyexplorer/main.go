@@ -1,0 +1,60 @@
+// Latencyexplorer builds the RESET latency model for a custom crossbar
+// and explores how write latency depends on location and content — the
+// relationships in the paper's Figures 4 and 11. It demonstrates the
+// circuit/timing API: calibrating a model from Table 1-style parameters
+// and querying the generated 8x8x8 write-timing tables.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ladder"
+	"ladder/internal/timing"
+)
+
+func main() {
+	// A smaller crossbar keeps this example snappy; swap in
+	// ladder.DefaultCrossbarParams() for the paper's 512x512 mat.
+	params := ladder.DefaultCrossbarParams()
+	params.N = 128
+
+	ts, err := ladder.NewTables(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gran := params.N / timing.Buckets
+
+	fmt.Printf("crossbar %dx%d — calibrated RESET model t = C*exp(-k*Vd), k = %.2f /V\n",
+		params.N, params.N, ts.Model.K)
+	fmt.Printf("tWR range: %.0f–%.0f ns (Table 2)\n\n", ts.WL.LatNs[0][0][0], ts.WorstNs)
+
+	fmt.Println("Content dependency (Figure 4b): latency vs wordline LRS count")
+	near := ts.ContentCurve(0, 0)
+	far := ts.ContentCurve(params.N-1, params.N-1)
+	fmt.Printf("%-12s %12s %12s\n", "LRS cells", "near cell", "far cell")
+	for cb := 0; cb < timing.Buckets; cb++ {
+		fmt.Printf("%-12d %12.1f %12.1f\n", (cb+1)*gran-1, near[cb], far[cb])
+	}
+
+	fmt.Println("\nLocation dependency (Figure 11): latency at the four corners")
+	for _, content := range []struct {
+		label  string
+		bucket int
+	}{{"empty wordline", 0}, {"full wordline", timing.Buckets - 1}} {
+		s := ts.Surface(content.bucket)
+		fmt.Printf("  %-16s near/near %6.1f ns   near/far %6.1f ns   far/near %6.1f ns   far/far %6.1f ns\n",
+			content.label, s[0][0], s[0][timing.Buckets-1], s[timing.Buckets-1][0], s[timing.Buckets-1][timing.Buckets-1])
+	}
+
+	// What a controller actually does: look up a specific write.
+	fmt.Println("\nExample lookups (wordline index, bitline index, C_lrs -> tWR):")
+	for _, q := range [][3]int{
+		{0, 0, 0},
+		{params.N / 2, params.N / 2, params.N / 4},
+		{params.N - 1, params.N - 1, params.N - 1},
+	} {
+		fmt.Printf("  WL=%3d BL=%3d C=%3d -> %6.1f ns\n", q[0], q[1], q[2],
+			ts.WL.Lookup(q[0], q[1], q[2]))
+	}
+}

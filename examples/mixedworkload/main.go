@@ -1,0 +1,51 @@
+// Mixedworkload runs a Table 3 multi-programmed mix (four SPEC2006
+// benchmarks on four cores) under the prior-work baselines and the LADDER
+// variants, and reports per-core IPC plus weighted speedup — the paper's
+// multi-programmed methodology (Section 6.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ladder"
+)
+
+func main() {
+	const mix = "mix-7" // astar-lbm-bwaves-mcf
+	const instr = 120_000
+
+	fmt.Printf("multi-programmed workload %s, %d instructions per core\n", mix, instr)
+
+	schemes := []string{
+		ladder.SchemeBaseline,
+		ladder.SchemeSplitReset,
+		ladder.SchemeBLP,
+		ladder.SchemeBasic,
+		ladder.SchemeEst,
+		ladder.SchemeHybrid,
+		ladder.SchemeOracle,
+	}
+
+	var baseline *ladder.Result
+	fmt.Printf("\n%-16s %8s %8s %8s %8s %10s %12s\n",
+		"scheme", "core0", "core1", "core2", "core3", "speedup", "wr-svc (ns)")
+	for _, s := range schemes {
+		res, err := ladder.Run(ladder.Config{
+			Workload:     mix,
+			Scheme:       s,
+			InstrPerCore: instr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s == ladder.SchemeBaseline {
+			baseline = res
+		}
+		fmt.Printf("%-16s %8.3f %8.3f %8.3f %8.3f %9.2fx %12.1f\n",
+			s,
+			res.PerCoreIPC[0], res.PerCoreIPC[1], res.PerCoreIPC[2], res.PerCoreIPC[3],
+			res.WeightedSpeedup(baseline),
+			res.Stats.AvgWriteServiceNs())
+	}
+}

@@ -1,0 +1,43 @@
+// Quickstart: simulate one write-heavy workload under the pessimistic
+// baseline and under LADDER-Hybrid, and print the headline comparison —
+// write service time, read latency and speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ladder"
+)
+
+func main() {
+	fmt.Println("LADDER quickstart: lbm under baseline vs LADDER-Hybrid")
+	fmt.Println("(first run generates the 512x512 timing tables; takes a few seconds)")
+
+	base, err := ladder.Run(ladder.Config{
+		Workload:     "lbm",
+		Scheme:       ladder.SchemeBaseline,
+		InstrPerCore: 150_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hybrid, err := ladder.Run(ladder.Config{
+		Workload:     "lbm",
+		Scheme:       ladder.SchemeHybrid,
+		InstrPerCore: 150_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-24s %14s %14s\n", "", "baseline", "LADDER-Hybrid")
+	fmt.Printf("%-24s %14.1f %14.1f\n", "write service (ns)",
+		base.Stats.AvgWriteServiceNs(), hybrid.Stats.AvgWriteServiceNs())
+	fmt.Printf("%-24s %14.1f %14.1f\n", "read latency (ns)",
+		base.Stats.AvgReadLatencyNs(), hybrid.Stats.AvgReadLatencyNs())
+	fmt.Printf("%-24s %14.3f %14.3f\n", "IPC", base.AvgIPC(), hybrid.AvgIPC())
+	fmt.Printf("%-24s %14s %14.1f%%\n", "extra writes", "-",
+		100*hybrid.Stats.ExtraWriteFraction())
+	fmt.Printf("\nLADDER-Hybrid speedup over baseline: %.2fx\n", hybrid.WeightedSpeedup(base))
+}

@@ -1,0 +1,3 @@
+module ladder
+
+go 1.22

@@ -1,0 +1,109 @@
+package bits
+
+// Flip-N-Write (Cho & Lee, MICRO 2009) and LADDER's constrained variant
+// (Section 3.3).
+//
+// FNW compares the to-be-written data with the stale content per flip unit
+// (here: one 8-byte word, one flip bit each) and stores the inverted word
+// whenever that reduces the number of bit changes. Classic FNW can increase
+// the number of stored '1's, which would break LADDER's LRS counting, so
+// LADDER adds the constraint that a flipped word must not carry more ones
+// than the original word.
+
+// FNWUnits is the number of flip units (8-byte words) per line.
+const FNWUnits = LineSize / 8
+
+// FNWResult reports the outcome of encoding one line.
+type FNWResult struct {
+	// Flips is the per-unit flip mask actually applied (bit i set = unit i
+	// stored inverted).
+	Flips uint8
+	// BitChanges is the number of cell writes (SETs + RESETs) after
+	// encoding, relative to the stale content.
+	BitChanges int
+	// Canceled counts units where classic FNW would flip but the LADDER
+	// constraint vetoed it (only populated by ConstrainedFNW).
+	Canceled int
+}
+
+// fnwEncode is the shared implementation; constrained selects LADDER's
+// extra rule.
+func fnwEncode(old, neu *Line, constrained bool) FNWResult {
+	var res FNWResult
+	for u := 0; u < FNWUnits; u++ {
+		lo, hi := u*8, u*8+8
+		changed, ones, flipOnes := 0, 0, 0
+		for i := lo; i < hi; i++ {
+			changed += diffByte(old[i], neu[i])
+			ones += onesByte(neu[i])
+			flipOnes += 8 - onesByte(neu[i])
+		}
+		// Bit changes if we store the inverted word instead. The stored flip
+		// bit itself also costs (up to) one change; we fold it in as the
+		// classic formulation does by requiring a strict win of >1... the
+		// common model charges the flip bit as one extra change.
+		flipChanged := 0
+		for i := lo; i < hi; i++ {
+			flipChanged += diffByte(old[i], ^neu[i])
+		}
+		flip := flipChanged+1 < changed
+		if flip && constrained && flipOnes > ones {
+			flip = false
+			res.Canceled++
+		}
+		if flip {
+			for i := lo; i < hi; i++ {
+				neu[i] = ^neu[i]
+			}
+			res.Flips |= 1 << uint(u)
+			res.BitChanges += flipChanged + 1
+		} else {
+			res.BitChanges += changed
+		}
+	}
+	return res
+}
+
+// ClassicFNW encodes neu in place against stale content old, flipping any
+// unit where inversion reduces bit changes. Returns the applied flip mask
+// and resulting change count.
+func ClassicFNW(old, neu *Line) FNWResult {
+	return fnwEncode(old, neu, false)
+}
+
+// ConstrainedFNW is LADDER's FNW: flips are additionally vetoed when the
+// inverted unit would store more ones than the original, preserving the
+// soundness of partial-counter estimation.
+func ConstrainedFNW(old, neu *Line) FNWResult {
+	return fnwEncode(old, neu, true)
+}
+
+// FNWDecode restores the logical content of a stored line given its flip
+// mask.
+func FNWDecode(stored *Line, flips uint8) {
+	for u := 0; u < FNWUnits; u++ {
+		if flips&(1<<uint(u)) == 0 {
+			continue
+		}
+		for i := u * 8; i < u*8+8; i++ {
+			stored[i] = ^stored[i]
+		}
+	}
+}
+
+func diffByte(a, b byte) int { return onesByte(a ^ b) }
+
+var onesTable [256]uint8
+
+func init() {
+	for i := range onesTable {
+		v, n := i, 0
+		for v != 0 {
+			v &= v - 1
+			n++
+		}
+		onesTable[i] = uint8(n)
+	}
+}
+
+func onesByte(b byte) int { return int(onesTable[b]) }

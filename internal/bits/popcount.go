@@ -1,0 +1,91 @@
+// Package bits provides bit-level utilities used throughout the LADDER
+// framework: popcount helpers over memory lines, worst-byte partial counters
+// (Section 4.1 of the paper), Flip-N-Write encoding and LADDER's constrained
+// variant (Section 3.3), and the intra-line bit-level shifting transform
+// (Section 4.1, "Improving estimation performance with shifting").
+//
+// Throughout this package a "line" is a 64-byte memory block, the unit the
+// memory controller writes to the ReRAM main memory. A logical '1' stored in
+// a cell corresponds to the low-resistance state (LRS); counting ones is
+// therefore counting LRS cells.
+package bits
+
+import "math/bits"
+
+// LineSize is the size in bytes of one memory block (cache line).
+const LineSize = 64
+
+// Line is a 64-byte memory block as seen by the memory controller.
+type Line [LineSize]byte
+
+// Ones returns the total number of '1' bits (LRS cells) in the line.
+func (l *Line) Ones() int {
+	n := 0
+	for _, b := range l {
+		n += bits.OnesCount8(b)
+	}
+	return n
+}
+
+// CountOnes returns the number of '1' bits in an arbitrary byte slice.
+func CountOnes(p []byte) int {
+	n := 0
+	for _, b := range p {
+		n += bits.OnesCount8(b)
+	}
+	return n
+}
+
+// WorstByte returns the maximum per-byte popcount in p, i.e. S^M in the
+// paper's notation: the number of ones in the worst byte of the block.
+// It returns 0 for an empty slice.
+func WorstByte(p []byte) int {
+	m := 0
+	for _, b := range p {
+		if c := bits.OnesCount8(b); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Diff counts positions where a and b differ (Hamming distance in bits).
+// Both slices must have equal length; extra bytes in the longer slice are
+// ignored.
+func Diff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	d := 0
+	for i := 0; i < n; i++ {
+		d += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return d
+}
+
+// SetsAndResets counts bit transitions between stale content old and new
+// content neu. A SET is a 0→1 transition (HRS→LRS); a RESET is a 1→0
+// transition (LRS→HRS). RESETs are the latency-critical operation in
+// crossbar ReRAM.
+func SetsAndResets(old, neu []byte) (sets, resets int) {
+	n := len(old)
+	if len(neu) < n {
+		n = len(neu)
+	}
+	for i := 0; i < n; i++ {
+		changed := old[i] ^ neu[i]
+		sets += bits.OnesCount8(changed & neu[i])
+		resets += bits.OnesCount8(changed &^ neu[i])
+	}
+	return sets, resets
+}
+
+// OnesPerByte fills dst with the popcount of every byte of p and returns the
+// number of entries written. dst must be at least len(p) long.
+func OnesPerByte(p []byte, dst []int) int {
+	for i, b := range p {
+		dst[i] = bits.OnesCount8(b)
+	}
+	return len(p)
+}

@@ -1,0 +1,82 @@
+package bits
+
+import (
+	"encoding/binary"
+	mathbits "math/bits"
+)
+
+// Intra-line bit-level shifting (Section 4.1).
+//
+// Applications often cluster '1' bits in a few hot bytes, and the pattern
+// repeats across consecutive lines of a page. That inflates the worst-byte
+// partial counters. LADDER therefore shuffles, per chip, the 64 bits of the
+// 8 bytes mapped to that chip so that a dense byte is spread across the
+// chip's 8 mats, and applies a distinct rotation offset per block position
+// in the wordline group so consecutive lines land misaligned. The transform
+// must be a bijection: a reverse shift recovers the original line on reads.
+//
+// We realize the shuffle as an 8x8 bit-matrix transpose of each 64-bit chip
+// group (bit k of byte i moves to bit i of byte k — each source byte is
+// spread across all eight mats) followed by a rotation by a per-block
+// offset.
+
+// ChipGroups is the number of 8-byte chip groups in a line (x8 chips).
+const ChipGroups = LineSize / 8
+
+// transpose8x8 transposes a 64-bit value viewed as an 8x8 bit matrix
+// (byte index = row, bit index = column) using the classic masked-swap
+// network.
+func transpose8x8(x uint64) uint64 {
+	// Swap 1x1 blocks across the diagonal within 2x2 tiles.
+	t := (x ^ (x >> 7)) & 0x00aa00aa00aa00aa
+	x = x ^ t ^ (t << 7)
+	// Swap 2x2 blocks within 4x4 tiles.
+	t = (x ^ (x >> 14)) & 0x0000cccc0000cccc
+	x = x ^ t ^ (t << 14)
+	// Swap 4x4 blocks.
+	t = (x ^ (x >> 28)) & 0x00000000f0f0f0f0
+	x = x ^ t ^ (t << 28)
+	return x
+}
+
+// ShiftOffset derives the rotation offset for a block from its position in
+// the wordline group. Positions 0..63 map to distinct offsets coprime-ish to
+// the byte width so that identical lines at different slots decorrelate.
+func ShiftOffset(blockSlot int) uint {
+	return uint((blockSlot*11 + 3) % 64)
+}
+
+// Shift applies the intra-line bit shuffle in place: per 8-byte chip group,
+// transpose then rotate left by the block's offset.
+func Shift(l *Line, blockSlot int) {
+	off := ShiftOffset(blockSlot)
+	for g := 0; g < ChipGroups; g++ {
+		p := l[g*8 : g*8+8]
+		x := binary.LittleEndian.Uint64(p)
+		x = mathbits.RotateLeft64(transpose8x8(x), int(off))
+		binary.LittleEndian.PutUint64(p, x)
+	}
+}
+
+// Unshift reverses Shift in place, recovering the original bit order.
+func Unshift(l *Line, blockSlot int) {
+	off := ShiftOffset(blockSlot)
+	for g := 0; g < ChipGroups; g++ {
+		p := l[g*8 : g*8+8]
+		x := binary.LittleEndian.Uint64(p)
+		x = transpose8x8(mathbits.RotateLeft64(x, -int(off)))
+		binary.LittleEndian.PutUint64(p, x)
+	}
+}
+
+// Shifted returns a shifted copy, leaving the input untouched.
+func Shifted(l Line, blockSlot int) Line {
+	Shift(&l, blockSlot)
+	return l
+}
+
+// Unshifted returns an unshifted copy, leaving the input untouched.
+func Unshifted(l Line, blockSlot int) Line {
+	Unshift(&l, blockSlot)
+	return l
+}

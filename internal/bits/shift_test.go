@@ -1,0 +1,109 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTranspose8x8Involution(t *testing.T) {
+	f := func(x uint64) bool { return transpose8x8(transpose8x8(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranspose8x8Known(t *testing.T) {
+	// Row 0 = 0xff (byte 0 all ones) must transpose to column 0: bit 0 of
+	// every byte set, i.e. 0x0101010101010101.
+	if got := transpose8x8(0xff); got != 0x0101010101010101 {
+		t.Fatalf("transpose(0xff) = %#x", got)
+	}
+	// Identity-diagonal is a fixed point.
+	const diag = 0x8040201008040201
+	if got := transpose8x8(diag); got != diag {
+		t.Fatalf("transpose(diag) = %#x, want fixed point", got)
+	}
+}
+
+func TestShiftRoundTrip(t *testing.T) {
+	f := func(l Line, slot uint8) bool {
+		s := int(slot) % 64
+		orig := l
+		Shift(&l, s)
+		Unshift(&l, s)
+		return l == orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftPreservesOnes(t *testing.T) {
+	f := func(l Line, slot uint8) bool {
+		before := l.Ones()
+		Shift(&l, int(slot)%64)
+		return l.Ones() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftSpreadsDenseByte(t *testing.T) {
+	// A single all-ones byte in an otherwise empty chip group has worst
+	// byte 8; after shifting, its 8 bits must land in 8 different bytes.
+	var l Line
+	l[0] = 0xff
+	Shift(&l, 0)
+	if w := WorstByte(l[:8]); w != 1 {
+		t.Fatalf("worst byte after shift = %d, want 1", w)
+	}
+}
+
+func TestShiftOffsetsDistinct(t *testing.T) {
+	seen := make(map[uint]bool)
+	for slot := 0; slot < 64; slot++ {
+		off := ShiftOffset(slot)
+		if off >= 64 {
+			t.Fatalf("offset %d out of range", off)
+		}
+		if seen[off] {
+			t.Fatalf("offset %d repeats (slot %d)", off, slot)
+		}
+		seen[off] = true
+	}
+}
+
+func TestShiftedUnshiftedCopies(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	l := randLine(r)
+	s := Shifted(l, 5)
+	if s == l {
+		t.Fatal("Shifted returned identical line for random input")
+	}
+	if got := Unshifted(s, 5); got != l {
+		t.Fatal("Unshifted(Shifted(l)) != l")
+	}
+}
+
+func TestShiftReducesClusteredWorstBytes(t *testing.T) {
+	// Clustered pattern: every chip group has one dense byte. Shifting
+	// should reduce the summed worst-byte estimate substantially.
+	var l Line
+	for g := 0; g < ChipGroups; g++ {
+		l[g*8] = 0xff
+	}
+	before := 0
+	for g := 0; g < NumSubgroups; g++ {
+		before += WorstByte(l[g*SubgroupBytes : (g+1)*SubgroupBytes])
+	}
+	Shift(&l, 0)
+	after := 0
+	for g := 0; g < NumSubgroups; g++ {
+		after += WorstByte(l[g*SubgroupBytes : (g+1)*SubgroupBytes])
+	}
+	if after >= before {
+		t.Fatalf("shift did not reduce clustered worst bytes: before %d after %d", before, after)
+	}
+}

@@ -1,0 +1,109 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseSolveKnown(t *testing.T) {
+	// [[2,1],[1,3]] x = [3,5] -> x = [0.8, 1.4]
+	x, err := DenseSolve([]float64{2, 1, 1, 3}, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-0.8) > 1e-12 || math.Abs(x[1]-1.4) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestDenseSolveNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal requires a row swap.
+	x, err := DenseSolve([]float64{0, 1, 1, 0}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestDenseSolveSingular(t *testing.T) {
+	if _, err := DenseSolve([]float64{1, 2, 2, 4}, []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix should fail")
+	}
+}
+
+func TestDenseSolveDimensionMismatch(t *testing.T) {
+	if _, err := DenseSolve([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func TestDenseSolveLeavesInputsIntact(t *testing.T) {
+	a := []float64{2, 1, 1, 3}
+	b := []float64{3, 5}
+	if _, err := DenseSolve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 2 || b[0] != 3 {
+		t.Fatal("inputs were mutated")
+	}
+}
+
+// TestCGAgreesWithDense cross-checks the two linear solvers on random
+// SPD resistor networks.
+func TestCGAgreesWithDense(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + r.Intn(30)
+		b := NewMatrixBuilder(n)
+		for i := 0; i < n; i++ {
+			b.Add(i, i, 0.2+r.Float64())
+			if i+1 < n {
+				b.StampConductance(i, i+1, 0.1+r.Float64())
+			}
+			if i+7 < n {
+				b.StampConductance(i, i+7, 0.05+r.Float64())
+			}
+		}
+		m := b.Compile()
+		if m.Size() != n {
+			t.Fatalf("size = %d", m.Size())
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = r.NormFloat64()
+		}
+		want, err := DenseSolve(m.Dense(), rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.SolveCG(rhs, nil, CGOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: x[%d] = %v vs dense %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMNAvsDenseTinyCrossbar solves a tiny crossbar's final linearized
+// system with both solvers.
+func TestMNAvsDenseTinyCrossbar(t *testing.T) {
+	p := smallParams(8, 2)
+	mna, err := NewMNA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mna.Solve(UniformPattern(false), ResetOp{Row: 7, Cols: []int{6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinVd <= 0 || res.MinVd > p.VWrite {
+		t.Fatalf("MinVd = %v", res.MinVd)
+	}
+}

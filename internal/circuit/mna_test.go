@@ -1,0 +1,137 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// smallParams scales the crossbar down for MNA tests while keeping the
+// electrical character (same resistances and voltages).
+func smallParams(n, selected int) Params {
+	p := DefaultParams()
+	p.N = n
+	p.SelectedCells = selected
+	return p
+}
+
+func TestResetOpValidate(t *testing.T) {
+	cases := []struct {
+		op ResetOp
+		ok bool
+	}{
+		{ResetOp{Row: 0, Cols: []int{0}}, true},
+		{ResetOp{Row: -1, Cols: []int{0}}, false},
+		{ResetOp{Row: 16, Cols: []int{0}}, false},
+		{ResetOp{Row: 0, Cols: nil}, false},
+		{ResetOp{Row: 0, Cols: []int{16}}, false},
+		{ResetOp{Row: 0, Cols: []int{1, 1}}, false},
+	}
+	for i, c := range cases {
+		err := c.op.Validate(16)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestMNAVdWithinPhysicalRange(t *testing.T) {
+	p := smallParams(16, 4)
+	m, err := NewMNA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(UniformPattern(false), ResetOp{Row: 8, Cols: []int{4, 5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Vd {
+		if v <= 0 || v > p.VWrite {
+			t.Fatalf("Vd %v outside (0, %v]", v, p.VWrite)
+		}
+	}
+	if res.MinVd > p.VWrite-0.001 {
+		t.Fatalf("MinVd %v implausibly close to ideal; drivers/wires should drop some voltage", res.MinVd)
+	}
+}
+
+func TestMNAContentDependency(t *testing.T) {
+	// More LRS cells on the selected wordline -> more sneak current ->
+	// smaller Vd. This is the core content dependency LADDER exploits.
+	p := smallParams(16, 2)
+	m, err := NewMNA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := ResetOp{Row: 15, Cols: []int{14, 15}}
+	prev := math.Inf(1)
+	for _, count := range []int{0, 7, 14} {
+		pat := WordlinePattern(p.N, op.Row, count, op.Cols)
+		res, err := m.Solve(pat, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MinVd >= prev {
+			t.Fatalf("Vd did not decrease with WL LRS count %d: %v >= %v", count, res.MinVd, prev)
+		}
+		prev = res.MinVd
+	}
+}
+
+func TestMNALocationDependency(t *testing.T) {
+	// Cells farther from the drivers suffer more IR drop.
+	p := smallParams(16, 2)
+	m, err := NewMNA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := m.Solve(UniformPattern(false), ResetOp{Row: 0, Cols: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := m.Solve(UniformPattern(false), ResetOp{Row: 15, Cols: []int{14, 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.MinVd >= near.MinVd {
+		t.Fatalf("far cell Vd %v should be below near cell Vd %v", far.MinVd, near.MinVd)
+	}
+}
+
+func TestMNAAllLRSWorst(t *testing.T) {
+	// A fully LRS crossbar is the pathological worst case.
+	p := smallParams(16, 2)
+	m, err := NewMNA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := ResetOp{Row: 15, Cols: []int{14, 15}}
+	empty, err := m.Solve(UniformPattern(false), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Solve(UniformPattern(true), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.MinVd >= empty.MinVd {
+		t.Fatalf("all-LRS Vd %v should be below all-HRS Vd %v", full.MinVd, empty.MinVd)
+	}
+}
+
+func TestMNARejectsBadOp(t *testing.T) {
+	m, err := NewMNA(smallParams(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Solve(UniformPattern(false), ResetOp{Row: 99, Cols: []int{0}}); err == nil {
+		t.Fatal("expected error for out-of-range row")
+	}
+}
+
+func TestNewMNARejectsInvalidParams(t *testing.T) {
+	p := DefaultParams()
+	p.N = -1
+	if _, err := NewMNA(p); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,47 @@
+package circuit
+
+import "testing"
+
+// TestProbeContentSensitivity is a diagnostic (run with -run Probe -v).
+func TestProbeContentSensitivity(t *testing.T) {
+	p := DefaultParams()
+	f, err := NewFastModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []int{504, 505, 506, 507, 508, 509, 510, 511}
+	cases := []struct {
+		name       string
+		wlrs, blrs int
+	}{
+		{"WL=0   BL=0  ", 0, 0},
+		{"WL=504 BL=0  ", 504, 0},
+		{"WL=0   BL=511", 0, 511},
+		{"WL=504 BL=511", 504, 511},
+		{"WL=252 BL=255", 252, 255},
+	}
+	for _, c := range cases {
+		r, err := f.Solve(FastOp{Row: 511, Cols: cols, WLLRS: c.wlrs, BLLRS: c.blrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s -> Vd = %.4f V", c.name, r.MinVd)
+	}
+}
+
+// TestProbeWordlineRise inspects the far-end wordline voltage rise under
+// heavy WL sneak (diagnostic).
+func TestProbeWordlineRise(t *testing.T) {
+	p := DefaultParams()
+	f, err := NewFastModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := FastOp{Row: 511, Cols: []int{504, 505, 506, 507, 508, 509, 510, 511}, WLLRS: 504, BLLRS: 0}
+	res, err := f.SolveDebug(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("vWL[0]=%.4f vWL[128]=%.4f vWL[256]=%.4f vWL[511]=%.4f", res.VWL[0], res.VWL[128], res.VWL[256], res.VWL[511])
+	t.Logf("vBL at target for col 504: %.4f; Vd=%.4f iter=%d", res.VBLTarget[0], res.Vd[0], res.Iterations)
+}

@@ -1,0 +1,94 @@
+// Package compress implements Frequent Pattern Compression (FPC) for
+// 64-byte memory lines. The Split-reset baseline (Xu et al., HPCA 2015)
+// stores a compressible line in half the bitlines of each mat so the write
+// completes in a single half-RESET phase; a line qualifies when its FPC
+// encoding fits in half the line size.
+package compress
+
+import "encoding/binary"
+
+// LineSize is the memory line size in bytes.
+const LineSize = 64
+
+// words is the number of 32-bit FPC words per line.
+const words = LineSize / 4
+
+// FPC pattern classes, in matching priority order. Sizes include the
+// 3-bit prefix, rounded up to whole bits as in the original proposal.
+const (
+	patZeroRun      = iota // runs of all-zero words
+	patSignExt4            // 4-bit sign-extended
+	patSignExt8            // one byte, sign-extended
+	patSignExt16           // halfword, sign-extended
+	patHalfZeroPad         // halfword padded with zeros (upper half zero)
+	patRepeatedByte        // word of one repeated byte
+	patUncompressed
+)
+
+// encodedBits returns the FPC payload size in bits for a 32-bit word,
+// excluding the 3-bit prefix, and the pattern class.
+func encodedBits(w uint32) (bitsN, pattern int) {
+	switch {
+	case w == 0:
+		return 0, patZeroRun
+	case signExtends(w, 4):
+		return 4, patSignExt4
+	case signExtends(w, 8):
+		return 8, patSignExt8
+	case signExtends(w, 16):
+		return 16, patSignExt16
+	case w&0xffff0000 == 0:
+		return 16, patHalfZeroPad
+	case repeatedByte(w):
+		return 8, patRepeatedByte
+	default:
+		return 32, patUncompressed
+	}
+}
+
+// signExtends reports whether the low n bits of w sign-extend to the full
+// 32-bit value.
+func signExtends(w uint32, n uint) bool {
+	shifted := int32(w) << (32 - n) >> (32 - n)
+	return uint32(shifted) == w
+}
+
+// repeatedByte reports whether all four bytes of w are equal.
+func repeatedByte(w uint32) bool {
+	b := w & 0xff
+	return w == b|b<<8|b<<16|b<<24
+}
+
+// CompressedBits returns the FPC-encoded size of the line in bits,
+// including per-word prefixes. Zero-run words share one prefix per run
+// with a 3-bit run length, as in the original scheme.
+func CompressedBits(line []byte) int {
+	total := 0
+	zeroRun := 0
+	flush := func() {
+		for zeroRun > 0 {
+			total += 3 + 3 // prefix + run length (up to 8 words per token)
+			zeroRun -= 8
+		}
+		zeroRun = 0
+	}
+	for i := 0; i+4 <= len(line) && i < words*4; i += 4 {
+		w := binary.LittleEndian.Uint32(line[i:])
+		payload, pat := encodedBits(w)
+		if pat == patZeroRun {
+			zeroRun++
+			continue
+		}
+		flush()
+		total += 3 + payload
+	}
+	flush()
+	return total
+}
+
+// Compressible reports whether the line's FPC encoding fits in half the
+// line (the Split-reset criterion: the stored form occupies at most 4
+// bitlines per mat).
+func Compressible(line []byte) bool {
+	return CompressedBits(line) <= LineSize*8/2
+}

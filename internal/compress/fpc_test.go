@@ -1,0 +1,114 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroLineFullyCompressible(t *testing.T) {
+	line := make([]byte, LineSize)
+	if !Compressible(line) {
+		t.Fatal("zero line must be compressible")
+	}
+	if got := CompressedBits(line); got != 12 { // 16 zero words -> 2 run tokens
+		t.Fatalf("zero line bits = %d, want 12", got)
+	}
+}
+
+func TestRandomLineIncompressible(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	line := make([]byte, LineSize)
+	r.Read(line)
+	if Compressible(line) {
+		t.Fatal("random line should not be compressible")
+	}
+}
+
+func TestSmallIntegersCompressible(t *testing.T) {
+	// An array of small positive ints (one per word) is the canonical
+	// FPC-friendly payload.
+	line := make([]byte, LineSize)
+	for i := 0; i < LineSize; i += 4 {
+		line[i] = byte(i % 7)
+	}
+	if !Compressible(line) {
+		t.Fatal("small-int line must be compressible")
+	}
+}
+
+func TestSignExtendedNegatives(t *testing.T) {
+	line := make([]byte, LineSize)
+	for i := 0; i < LineSize; i += 4 {
+		// -3 as int32 little endian: fd ff ff ff
+		line[i] = 0xfd
+		line[i+1] = 0xff
+		line[i+2] = 0xff
+		line[i+3] = 0xff
+	}
+	if !Compressible(line) {
+		t.Fatal("sign-extended negative words must be compressible")
+	}
+}
+
+func TestRepeatedByteWords(t *testing.T) {
+	line := make([]byte, LineSize)
+	for i := range line {
+		line[i] = 0xab
+	}
+	// Each word costs 3+8 bits -> 16*11 = 176 < 256.
+	if !Compressible(line) {
+		t.Fatal("repeated-byte line must be compressible")
+	}
+}
+
+func TestCompressedBitsNeverExceedsRaw(t *testing.T) {
+	f := func(data [LineSize]byte) bool {
+		got := CompressedBits(data[:])
+		// Worst case: 16 words x (3 + 32) bits.
+		return got >= 0 && got <= words*(3+32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignExtends(t *testing.T) {
+	cases := []struct {
+		w    uint32
+		n    uint
+		want bool
+	}{
+		{0, 4, true},
+		{7, 4, true},
+		{8, 4, false},
+		{0xfffffff8, 4, true}, // -8
+		{0xfffffff7, 4, false},
+		{0x7f, 8, true},
+		{0x80, 8, false},
+		{0xffffff80, 8, true},
+	}
+	for _, c := range cases {
+		if got := signExtends(c.w, c.n); got != c.want {
+			t.Errorf("signExtends(%#x, %d) = %v, want %v", c.w, c.n, got, c.want)
+		}
+	}
+}
+
+func TestZeroRunSharing(t *testing.T) {
+	// 8 zero words then 8 incompressible words: one run token + 8 full.
+	line := make([]byte, LineSize)
+	r := rand.New(rand.NewSource(2))
+	r.Read(line[32:])
+	// Ensure the random tail really is incompressible per word by setting
+	// high entropy top bytes.
+	for i := 32; i < LineSize; i += 4 {
+		line[i+3] = 0x5a
+		line[i] = 0xa5
+	}
+	bits := CompressedBits(line)
+	want := 6 + 8*(3+32)
+	if bits != want {
+		t.Fatalf("bits = %d, want %d", bits, want)
+	}
+}

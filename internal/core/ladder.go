@@ -1,0 +1,216 @@
+package core
+
+import (
+	"ladder/internal/bits"
+)
+
+// ladderBase carries the machinery shared by the three LADDER variants:
+// the metadata cache, the spill buffer, and the bookkeeping that connects
+// write queue entries to in-flight metadata fills.
+type ladderBase struct {
+	env    *Env
+	layout Layout
+	cache  *MetaCache
+	// waiting maps a metadata key to the requests blocked on its fill.
+	waiting map[uint64][]*WriteRequest
+	// spill holds requests whose metadata set had no evictable way, in
+	// FIFO order (paper: 16-entry spill buffer, drained when the
+	// scheduler switches modes).
+	spill []*WriteRequest
+}
+
+func newLadderBase(env *Env, cacheCfg MetaCacheConfig) (*ladderBase, error) {
+	cache, err := NewMetaCache(cacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ladderBase{
+		env:     env,
+		layout:  NewLayout(env.Geom),
+		cache:   cache,
+		waiting: make(map[uint64][]*WriteRequest),
+	}, nil
+}
+
+// acquire secures all metadata lines for req: cache hits gain a sharer,
+// misses reserve a way and emit a metadata read, and saturated sets park
+// the request in the spill buffer (releasing any sharers it already
+// took, so spill retry re-runs the full acquisition).
+func (b *ladderBase) acquire(req *WriteRequest, keys []uint64) ([]AuxRead, []MetaWriteback) {
+	req.MetaKeys = keys
+	req.MetaPending = 0
+	req.WaitMeta = false
+	var aux []AuxRead
+	var wbs []MetaWriteback
+	var held []uint64
+	for _, key := range keys {
+		present, valid := b.cache.Lookup(key)
+		if present {
+			b.cache.AddSharer(key)
+			held = append(held, key)
+			if !valid {
+				// Fill already in flight for another request.
+				b.waiting[key] = append(b.waiting[key], req)
+				req.MetaPending++
+			}
+			continue
+		}
+		loc := b.layout.MetaLoc(key, req.Loc)
+		wb, ok := b.cache.Reserve(key, loc)
+		if !ok {
+			// Roll back and spill: the request retries atomically later.
+			for _, h := range held {
+				b.cache.Release(h)
+			}
+			b.unwait(req)
+			req.MetaPending = 0
+			req.Spilled = true
+			req.WaitMeta = true
+			b.spill = append(b.spill, req)
+			b.env.Stats.SpillParks++
+			return nil, wbs
+		}
+		if wb != nil {
+			wbs = append(wbs, *wb)
+			b.env.Stats.MetaWrites++
+		}
+		held = append(held, key)
+		b.waiting[key] = append(b.waiting[key], req)
+		req.MetaPending++
+		b.env.Stats.MetaReads++
+		b.env.Stats.MetaCacheMisses++
+		aux = append(aux, AuxRead{Kind: AuxMeta, Key: key, Loc: loc})
+	}
+	if req.MetaPending > 0 {
+		req.WaitMeta = true
+	} else {
+		b.env.Stats.MetaCacheHits++
+	}
+	return aux, wbs
+}
+
+// unwait removes req from every fill waiting list.
+func (b *ladderBase) unwait(req *WriteRequest) {
+	for key, list := range b.waiting {
+		out := list[:0]
+		for _, r := range list {
+			if r != req {
+				out = append(out, r)
+			}
+		}
+		if len(out) == 0 {
+			delete(b.waiting, key)
+		} else {
+			b.waiting[key] = out
+		}
+	}
+}
+
+// metaArrived completes a fill and unblocks waiters.
+func (b *ladderBase) metaArrived(key uint64) {
+	b.cache.Fill(key)
+	for _, req := range b.waiting[key] {
+		req.MetaPending--
+		if req.MetaPending <= 0 {
+			req.WaitMeta = false
+		}
+	}
+	delete(b.waiting, key)
+}
+
+// retrySpill re-attempts acquisition for parked requests in FIFO order,
+// stopping at the first request that still cannot reserve.
+func (b *ladderBase) retrySpill(keysOf func(*WriteRequest) []uint64) ([]AuxRead, []MetaWriteback) {
+	var aux []AuxRead
+	var wbs []MetaWriteback
+	for len(b.spill) > 0 {
+		req := b.spill[0]
+		req.Spilled = false
+		b.spill = b.spill[1:]
+		a, w := b.acquire(req, keysOf(req))
+		aux = append(aux, a...)
+		wbs = append(wbs, w...)
+		if req.Spilled {
+			// acquire() re-parked it at the tail; preserve FIFO by
+			// moving it back to the head and stopping.
+			b.spill = append([]*WriteRequest{req}, b.spill[:len(b.spill)-1]...)
+			break
+		}
+	}
+	return aux, wbs
+}
+
+// release drops the request's sharer holds after completion.
+func (b *ladderBase) release(req *WriteRequest) {
+	for _, key := range req.MetaKeys {
+		b.cache.Release(key)
+	}
+}
+
+// Cache exposes the metadata cache (testing/diagnostics).
+func (b *ladderBase) Cache() *MetaCache { return b.cache }
+
+// CrashRecoverable is implemented by schemes that keep volatile
+// LRS-metadata state and support the paper's Section 7 crash-recovery
+// story.
+type CrashRecoverable interface {
+	// CrashRecover models a power failure followed by the lazy
+	// conservative correction: cached metadata is lost and the persisted
+	// region is overwritten with maximum counter values.
+	CrashRecover()
+}
+
+// maxMetaLine is the all-maximum metadata line used by the conservative
+// correction: every partial-counter code saturated. For the Basic layout
+// the same byte pattern decodes to counters ≥ 512, which the timing
+// lookup clamps to the worst bucket — still conservative.
+func maxMetaLine() MetaLine {
+	var ml MetaLine
+	for i := range ml {
+		ml[i] = 0xff
+	}
+	return ml
+}
+
+// crashRecover drops the cache and applies the conservative correction.
+// The spill buffer and fill waiting lists must already be empty (the
+// controller drains before a modeled crash).
+func (b *ladderBase) crashRecover() {
+	if len(b.spill) != 0 || len(b.waiting) != 0 {
+		panic("core: crash with queued metadata work; drain the controller first")
+	}
+	b.cache.Crash()
+	b.cache.RecoverConservative(maxMetaLine())
+}
+
+// SpillDepth returns the current number of parked requests.
+func (b *ladderBase) SpillDepth() int { return len(b.spill) }
+
+// payloadFor applies the controller datapath: LADDER-Est/Hybrid shift the
+// line; Basic stores it as-is.
+func payloadFor(data bits.Line, slot int, shifting bool) bits.Line {
+	if shifting {
+		return bits.Shifted(data, slot)
+	}
+	return data
+}
+
+// recordCounterDiff samples the estimated-vs-accurate gap for Figure 15.
+// The reference is the counter LADDER-Basic would hold: the exact count
+// over the *unshifted* bit layout. A shifting scheme whose spread-out
+// stored pattern carries fewer worst-wordline ones than the raw layout
+// therefore records a negative difference, as in the paper's Figure 15b.
+func (b *ladderBase) recordCounterDiff(req *WriteRequest, estimated int, shifted bool) {
+	var accurate int
+	var err error
+	if shifted {
+		accurate, err = b.env.Store.MaxRowCounterUnshifted(req.Line)
+	} else {
+		accurate, err = b.env.Store.MaxRowCounter(req.Line)
+	}
+	if err != nil {
+		return
+	}
+	b.env.Stats.CounterDiffSum += float64(estimated - accurate)
+	b.env.Stats.CounterDiffN++
+}

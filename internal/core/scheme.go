@@ -1,0 +1,239 @@
+// Package core implements the LADDER control logic and every write scheme
+// the paper studies: the pessimistic baseline, the location-aware and
+// Oracle idealizations (Figure 2), the Split-reset and BLP prior works,
+// and the three LADDER variants — Basic (accurate LRS counters with stale
+// memory block reads, Section 3.3), Est (partial-counter estimation with
+// intra-line bit shifting, Section 4.1) and Hybrid (multi-granularity
+// counters, Section 4.2).
+//
+// A Scheme plugs into the memory controller (package memctrl): the
+// controller calls Enqueue when a data write enters the write queue,
+// delivers auxiliary read completions, asks Ready/Latency at dispatch, and
+// calls Complete when the device finishes.
+package core
+
+import (
+	"ladder/internal/bits"
+	"ladder/internal/reram"
+	"ladder/internal/timing"
+)
+
+// AuxKind classifies auxiliary read requests a scheme generates.
+type AuxKind int
+
+const (
+	// AuxSMB is a stale-memory-block read: the current content of the
+	// data line, needed by LADDER-Basic to compute exact counter deltas.
+	AuxSMB AuxKind = iota
+	// AuxMeta is an LRS-metadata line read from the reserved region.
+	AuxMeta
+)
+
+// AuxRead is an auxiliary read the controller must issue on behalf of a
+// write request.
+type AuxRead struct {
+	Kind AuxKind
+	// Key identifies the target: the data line address for AuxSMB, the
+	// metadata line key for AuxMeta.
+	Key uint64
+	// Loc is the physical location, for bank timing.
+	Loc reram.Location
+}
+
+// MetaWriteback is a dirty LRS-metadata line evicted from the metadata
+// cache; the controller enqueues it as a metadata write.
+type MetaWriteback struct {
+	Key uint64
+	Loc reram.Location
+}
+
+// WriteRequest is a data write resident in the controller's write queue,
+// extended with the per-scheme fields the paper adds to write queue
+// entries (SMB storage, Present flag, partial counters).
+type WriteRequest struct {
+	// Line and Loc identify the data block.
+	Line uint64
+	Loc  reram.Location
+	// Data is the logical content from the processor.
+	Data bits.Line
+	// Payload is the content handed to the device after the controller
+	// datapath (bit shifting for LADDER-Est/Hybrid); the device may still
+	// apply Flip-N-Write on top.
+	Payload bits.Line
+	// Partial is the packed partial-counter byte computed at enqueue
+	// (LADDER-Est/Hybrid).
+	Partial uint8
+	// WaitSMB/WaitMeta gate dispatch until auxiliary reads complete.
+	WaitSMB  bool
+	WaitMeta bool
+	// Spilled marks a request parked in the spill buffer because its
+	// metadata set had no evictable way.
+	Spilled bool
+	// MetaKeys are the LRS-metadata lines this write needs (one for Est/
+	// Hybrid, two for Basic).
+	MetaKeys []uint64
+	// MetaPending counts metadata fills still in flight for this request.
+	MetaPending int
+	// Stale is the SMB content once read.
+	Stale bits.Line
+	// IsMeta marks metadata writebacks travelling through the write queue.
+	IsMeta bool
+	// MetaKey is the metadata line being written back (IsMeta only).
+	MetaKey uint64
+	// EnqueueCycle and DispatchCycle time the request's life.
+	EnqueueCycle  uint64
+	DispatchCycle uint64
+}
+
+// Env exposes the shared facilities schemes operate on.
+type Env struct {
+	Geom   reram.Geometry
+	Store  *reram.Store
+	Tables *timing.TableSet
+	Stats  *Stats
+}
+
+// Scheme is the per-write-policy the memory controller drives.
+type Scheme interface {
+	// Name returns the scheme's figure label (e.g. "LADDER-Est").
+	Name() string
+	// Enqueue prepares a freshly queued data write (encodes the payload,
+	// computes partial counters) and returns the auxiliary reads to issue
+	// plus any dirty metadata evictions displaced by cache reservations.
+	// Requests whose metadata set is saturated are marked Spilled and get
+	// their aux reads later via RetrySpill.
+	Enqueue(req *WriteRequest) ([]AuxRead, []MetaWriteback)
+	// SMBArrived delivers a completed stale-memory-block read.
+	SMBArrived(req *WriteRequest, stale bits.Line)
+	// MetaArrived delivers a completed metadata line read; every queued
+	// request waiting on that key becomes metadata-ready.
+	MetaArrived(key uint64)
+	// RetrySpill re-attempts metadata reservation for spilled requests;
+	// the controller calls it when switching between read and write mode.
+	// It returns newly issueable aux reads and displaced dirty evictions.
+	RetrySpill() ([]AuxRead, []MetaWriteback)
+	// Ready reports whether the request may be dispatched to the device.
+	Ready(req *WriteRequest) bool
+	// Latency returns the RESET latency in nanoseconds the controller
+	// programs for this write, using whatever content knowledge the
+	// scheme has at dispatch time.
+	Latency(req *WriteRequest) float64
+	// Complete finishes the write: the device has persisted `stored`
+	// (post-FNW content) over `old`. Schemes update their metadata here
+	// and return dirty evictions to enqueue as metadata writes.
+	Complete(req *WriteRequest, old, stored bits.Line) []MetaWriteback
+	// DecodeRead converts a stored payload back to logical data (inverse
+	// of the controller datapath, used on processor reads).
+	DecodeRead(line uint64, payload bits.Line) bits.Line
+	// UseConstrainedFNW reports whether the device must apply LADDER's
+	// ones-bounded FNW variant instead of classic FNW.
+	UseConstrainedFNW() bool
+}
+
+// Stats accumulates the per-run measurements the evaluation reports.
+type Stats struct {
+	// Traffic counters.
+	DataReads, DataWrites          uint64
+	SMBReads, MetaReads            uint64
+	MetaWrites                     uint64
+	SpillParks                     uint64
+	MetaCacheHits, MetaCacheMisses uint64
+	// Latency accumulators (nanoseconds).
+	WriteServiceNs float64
+	ReadLatencyNs  float64
+	ReadsTimed     uint64
+	// Counter-accuracy tracking for Figure 15: sum of (estimated −
+	// accurate) C_lrs at dispatch, and samples.
+	CounterDiffSum float64
+	CounterDiffN   uint64
+	// FNW accounting.
+	FNWFlips, FNWCanceled, FNWUnits uint64
+	// Energy accumulators (arbitrary joule-scaled units; see package
+	// energy).
+	ReadEnergy, WriteEnergy float64
+	// BitChanges counts cell switches across all writes.
+	BitChanges uint64
+	// ReadLatencyHist is a power-of-two histogram of demand-read
+	// latencies: bucket i counts reads with latency in [2^i, 2^(i+1)) ns.
+	ReadLatencyHist [24]uint64
+}
+
+// RecordReadLatency adds one demand read to the latency accumulators.
+func (s *Stats) RecordReadLatency(ns float64) {
+	s.ReadLatencyNs += ns
+	s.ReadsTimed++
+	b := 0
+	for v := uint64(ns); v > 1 && b < len(s.ReadLatencyHist)-1; v >>= 1 {
+		b++
+	}
+	s.ReadLatencyHist[b]++
+}
+
+// ReadLatencyPercentile returns an upper bound on the given percentile
+// (0..1) of demand-read latency, at power-of-two resolution.
+func (s *Stats) ReadLatencyPercentile(p float64) float64 {
+	if s.ReadsTimed == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(p * float64(s.ReadsTimed))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range s.ReadLatencyHist {
+		cum += n
+		if cum >= target {
+			return float64(uint64(1) << uint(i+1))
+		}
+	}
+	return float64(uint64(1) << uint(len(s.ReadLatencyHist)))
+}
+
+// ExtraReadFraction returns the metadata+SMB read overhead relative to
+// data reads (Figure 14a's metric).
+func (s *Stats) ExtraReadFraction() float64 {
+	if s.DataReads == 0 {
+		return 0
+	}
+	return float64(s.SMBReads+s.MetaReads) / float64(s.DataReads)
+}
+
+// ExtraWriteFraction returns the metadata write overhead relative to data
+// writes (Figure 14b's metric).
+func (s *Stats) ExtraWriteFraction() float64 {
+	if s.DataWrites == 0 {
+		return 0
+	}
+	return float64(s.MetaWrites) / float64(s.DataWrites)
+}
+
+// AvgWriteServiceNs returns the mean data-write service time.
+func (s *Stats) AvgWriteServiceNs() float64 {
+	if s.DataWrites == 0 {
+		return 0
+	}
+	return s.WriteServiceNs / float64(s.DataWrites)
+}
+
+// AvgReadLatencyNs returns the mean processor read latency (queuing +
+// service).
+func (s *Stats) AvgReadLatencyNs() float64 {
+	if s.ReadsTimed == 0 {
+		return 0
+	}
+	return s.ReadLatencyNs / float64(s.ReadsTimed)
+}
+
+// AvgCounterDiff returns the mean (estimated − accurate) LRS-counter gap.
+func (s *Stats) AvgCounterDiff() float64 {
+	if s.CounterDiffN == 0 {
+		return 0
+	}
+	return s.CounterDiffSum / float64(s.CounterDiffN)
+}

@@ -1,0 +1,113 @@
+// Package cpu models the processor side of the simulation: trace-driven
+// cores that retire one instruction per cycle until they block on memory.
+// A core issues demand reads into the memory system up to its
+// memory-level-parallelism window and stalls when the window is full (the
+// out-of-order ROB-limit abstraction); writebacks are fire-and-forget
+// unless the write queue rejects them. This reproduces the mechanism the
+// paper exploits — long ReRAM writes occupying banks and delaying reads —
+// without simulating a full pipeline.
+package cpu
+
+import (
+	"errors"
+
+	"ladder/internal/trace"
+)
+
+// DefaultMLP is the default number of outstanding demand reads a core
+// tolerates before stalling — the ROB-limit abstraction: a modest window
+// means long ReRAM accesses are only partially hidden, as in the paper's
+// out-of-order cores.
+const DefaultMLP = 4
+
+// IssueFunc attempts to hand an access to the memory system and reports
+// whether it was accepted (queues may be full).
+type IssueFunc func(coreID int, a trace.Access) bool
+
+// Core is one trace-driven processor core.
+type Core struct {
+	id  int
+	gen trace.Source
+	mlp int
+
+	outstanding int
+	pending     *trace.Access
+	gapLeft     int
+	retired     uint64
+	stallCycles uint64
+}
+
+// NewCore builds a core over any access source (a synthetic generator or
+// a recorded-trace replayer).
+func NewCore(id int, gen trace.Source, mlp int) (*Core, error) {
+	if gen == nil {
+		return nil, errors.New("cpu: nil generator")
+	}
+	if mlp <= 0 {
+		mlp = DefaultMLP
+	}
+	c := &Core{id: id, gen: gen, mlp: mlp}
+	c.fetch()
+	return c, nil
+}
+
+// fetch pulls the next access from the trace.
+func (c *Core) fetch() {
+	a := c.gen.Next()
+	c.pending = &a
+	c.gapLeft = a.Gap
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Retired returns the number of instructions retired.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// StallCycles returns how many cycles the core spent unable to retire.
+func (c *Core) StallCycles() uint64 { return c.stallCycles }
+
+// Outstanding returns the current number of in-flight demand reads.
+func (c *Core) Outstanding() int { return c.outstanding }
+
+// ReadDone signals completion of one demand read.
+func (c *Core) ReadDone() {
+	if c.outstanding <= 0 {
+		panic("cpu: read completion without outstanding read")
+	}
+	c.outstanding--
+}
+
+// Tick advances the core one cycle. It retires at most one instruction:
+// a plain instruction if the gap to the next access is open, otherwise
+// the memory access itself if it can be issued. Returns whether an
+// instruction retired.
+func (c *Core) Tick(issue IssueFunc) bool {
+	if c.gapLeft > 0 {
+		c.gapLeft--
+		c.retired++
+		return true
+	}
+	a := c.pending
+	if !a.Write {
+		if c.outstanding >= c.mlp {
+			c.stallCycles++
+			return false
+		}
+		if !issue(c.id, *a) {
+			c.stallCycles++
+			return false
+		}
+		c.outstanding++
+		c.retired++
+		c.fetch()
+		return true
+	}
+	if !issue(c.id, *a) {
+		c.stallCycles++
+		return false
+	}
+	c.retired++
+	c.fetch()
+	return true
+}

@@ -1,0 +1,476 @@
+// Package memctrl implements the per-channel ReRAM memory controller: a
+// 32-entry read queue and 64-entry write queue, read-priority scheduling
+// with write draining above an 85% high watermark (paper Table 2), bank
+// timing, and the device-side datapath (Flip-N-Write bridge). It drives a
+// core.Scheme to obtain per-write RESET latencies and to maintain the
+// LRS-metadata machinery.
+package memctrl
+
+import (
+	"fmt"
+	"math"
+	mathbits "math/bits"
+
+	"ladder/internal/bits"
+	"ladder/internal/core"
+	"ladder/internal/energy"
+	"ladder/internal/reram"
+)
+
+// TicksPerNs is the simulation resolution: 4 ticks per nanosecond, i.e.
+// one tick per CPU cycle at 4 GHz.
+const TicksPerNs = 4
+
+// Config sizes the controller (paper Table 2).
+type Config struct {
+	// RDQSize and WRQSize bound the read and write queues.
+	RDQSize, WRQSize int
+	// WriteHighFrac is the write-queue occupancy that triggers write
+	// drain mode (0.85).
+	WriteHighFrac float64
+	// WriteLowEntries is the occupancy at which drain mode ends.
+	WriteLowEntries int
+	// TRCD, TCL, TBurst are fixed timing components in ticks.
+	TRCD, TCL, TBurst int
+}
+
+// DefaultConfig returns the paper's controller configuration: tRCD = tCL
+// = 13.75 ns, tBURST = 5 ns, 85% write switching threshold.
+func DefaultConfig() Config {
+	return Config{
+		RDQSize:         32,
+		WRQSize:         64,
+		WriteHighFrac:   0.85,
+		WriteLowEntries: 16,
+		TRCD:            55,
+		TCL:             55,
+		TBurst:          20,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.RDQSize <= 0 || c.WRQSize <= 0:
+		return fmt.Errorf("memctrl: queue sizes must be positive")
+	case c.WriteHighFrac <= 0 || c.WriteHighFrac > 1:
+		return fmt.Errorf("memctrl: WriteHighFrac %v out of (0,1]", c.WriteHighFrac)
+	case c.WriteLowEntries < 0 || float64(c.WriteLowEntries) >= c.WriteHighFrac*float64(c.WRQSize):
+		return fmt.Errorf("memctrl: low watermark %d must sit below the high watermark", c.WriteLowEntries)
+	case c.TRCD < 0 || c.TCL < 0 || c.TBurst < 0:
+		return fmt.Errorf("memctrl: timing components must be non-negative")
+	}
+	return nil
+}
+
+// ReadKind classifies read-queue entries (the paper extends each entry
+// with a type flag).
+type ReadKind int
+
+const (
+	// ReadData is a processor demand read.
+	ReadData ReadKind = iota
+	// ReadSMB is a stale-memory-block read issued for LADDER-Basic.
+	ReadSMB
+	// ReadMeta is an LRS-metadata line read.
+	ReadMeta
+)
+
+// ReadReq is one read-queue entry.
+type ReadReq struct {
+	Kind ReadKind
+	// Line is the data line address (ReadData/ReadSMB) or the metadata
+	// key (ReadMeta).
+	Line uint64
+	Loc  reram.Location
+	// Core identifies the requesting core for demand reads.
+	Core int
+	// Target is the write-queue entry an SMB read feeds.
+	Target *core.WriteRequest
+	// EnqueueTick timestamps arrival.
+	EnqueueTick uint64
+}
+
+// busyOp is an operation occupying a bank.
+type busyOp struct {
+	finish uint64
+	read   *ReadReq
+	write  *core.WriteRequest
+	latNs  float64
+}
+
+// ReadDoneFunc is invoked when a demand read's data returns.
+type ReadDoneFunc func(req *ReadReq, now uint64)
+
+// Controller is one channel's memory controller.
+type Controller struct {
+	cfg    Config
+	env    *core.Env
+	scheme core.Scheme
+	meter  *energy.Meter
+
+	rdq        []*ReadReq
+	wrq        []*core.WriteRequest
+	auxPending []*ReadReq           // aux reads awaiting RDQ space
+	wbPending  []*core.WriteRequest // metadata writebacks awaiting WRQ space
+	bankBusy   []uint64             // busy-until tick per bank
+	inflight   []busyOp
+	writeMode  bool
+	onReadDone ReadDoneFunc
+
+	// flips is the device-side FNW bridge state: the stored flip mask per
+	// line address.
+	flips map[uint64]uint8
+
+	// remap, when set, adjusts decoded data locations (vertical wear
+	// leveling applies here: the paper places wear-leveling translation
+	// before LADDER, Figure 18a).
+	remap func(reram.Location) reram.Location
+
+	banksPerRank int
+}
+
+// SetRemap installs a location remapping applied to decoded data
+// addresses (wear-leveling integration).
+func (c *Controller) SetRemap(f func(reram.Location) reram.Location) { c.remap = f }
+
+// decode resolves a line address through the optional remap.
+func (c *Controller) decode(line uint64) (reram.Location, error) {
+	loc, err := c.env.Geom.Decode(line)
+	if err != nil {
+		return loc, err
+	}
+	if c.remap != nil {
+		loc = c.remap(loc)
+	}
+	return loc, nil
+}
+
+// EnqueueMaintenance queues a device-maintenance write (e.g. a wear-
+// leveling segment migration): it occupies a bank like a metadata write
+// but carries no scheme state.
+func (c *Controller) EnqueueMaintenance(loc reram.Location, now uint64) {
+	c.wbPending = append(c.wbPending, &core.WriteRequest{
+		Loc:          loc,
+		IsMeta:       true,
+		EnqueueCycle: now,
+	})
+}
+
+// NewController builds a controller over the shared environment. The
+// scheme instance must be dedicated to this controller (it owns a private
+// metadata cache).
+func NewController(cfg Config, env *core.Env, scheme core.Scheme, meter *energy.Meter, onReadDone ReadDoneFunc) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nBanks := env.Geom.RanksPerChannel * env.Geom.BanksPerRank
+	return &Controller{
+		cfg:          cfg,
+		env:          env,
+		scheme:       scheme,
+		meter:        meter,
+		bankBusy:     make([]uint64, nBanks),
+		onReadDone:   onReadDone,
+		flips:        make(map[uint64]uint8),
+		banksPerRank: env.Geom.BanksPerRank,
+	}, nil
+}
+
+func (c *Controller) bankOf(loc reram.Location) int {
+	return loc.Rank*c.banksPerRank + loc.Bank
+}
+
+// ReadQueueLen and WriteQueueLen expose occupancies (testing/diagnostics).
+func (c *Controller) ReadQueueLen() int  { return len(c.rdq) }
+func (c *Controller) WriteQueueLen() int { return len(c.wrq) }
+
+// InWriteMode reports the scheduling mode.
+func (c *Controller) InWriteMode() bool { return c.writeMode }
+
+// Idle reports whether all queues and banks are drained.
+func (c *Controller) Idle() bool {
+	return len(c.rdq) == 0 && len(c.wrq) == 0 && len(c.auxPending) == 0 &&
+		len(c.wbPending) == 0 && len(c.inflight) == 0
+}
+
+// EnqueueRead accepts a processor demand read; false means the queue is
+// full and the core must retry.
+func (c *Controller) EnqueueRead(coreID int, line uint64, now uint64) bool {
+	if len(c.rdq) >= c.cfg.RDQSize {
+		return false
+	}
+	loc, err := c.decode(line)
+	if err != nil {
+		return false
+	}
+	c.rdq = append(c.rdq, &ReadReq{Kind: ReadData, Line: line, Loc: loc, Core: coreID, EnqueueTick: now})
+	c.env.Stats.DataReads++
+	return true
+}
+
+// EnqueueWrite accepts a processor writeback; false means the write queue
+// is full.
+func (c *Controller) EnqueueWrite(line uint64, data bits.Line, now uint64) bool {
+	if len(c.wrq) >= c.cfg.WRQSize {
+		return false
+	}
+	loc, err := c.decode(line)
+	if err != nil {
+		return false
+	}
+	// Materialize the wordline group (resident prefill) before the scheme
+	// inspects content or initializes metadata.
+	if err := c.env.Store.EnsureRow(line); err != nil {
+		return false
+	}
+	req := &core.WriteRequest{Line: line, Loc: loc, Data: data, EnqueueCycle: now}
+	aux, wbs := c.scheme.Enqueue(req)
+	c.wrq = append(c.wrq, req)
+	c.env.Stats.DataWrites++
+	c.routeAux(aux, now)
+	c.routeWritebacks(wbs, now)
+	return true
+}
+
+// routeAux queues auxiliary reads, respecting RDQ capacity.
+func (c *Controller) routeAux(aux []core.AuxRead, now uint64) {
+	for _, a := range aux {
+		kind := ReadSMB
+		if a.Kind == core.AuxMeta {
+			kind = ReadMeta
+		}
+		r := &ReadReq{Kind: kind, Line: a.Key, Loc: a.Loc, EnqueueTick: now}
+		if kind == ReadSMB {
+			r.Target = c.findWrite(a.Key)
+		}
+		c.auxPending = append(c.auxPending, r)
+	}
+}
+
+// findWrite locates the youngest write-queue entry for a line (SMB reads
+// target the entry that requested them).
+func (c *Controller) findWrite(line uint64) *core.WriteRequest {
+	for i := len(c.wrq) - 1; i >= 0; i-- {
+		if c.wrq[i].Line == line && !c.wrq[i].IsMeta {
+			return c.wrq[i]
+		}
+	}
+	return nil
+}
+
+// routeWritebacks turns dirty metadata evictions into write-queue
+// entries.
+func (c *Controller) routeWritebacks(wbs []core.MetaWriteback, now uint64) {
+	for _, wb := range wbs {
+		c.wbPending = append(c.wbPending, &core.WriteRequest{
+			Line:         wb.Key,
+			Loc:          wb.Loc,
+			IsMeta:       true,
+			MetaKey:      wb.Key,
+			EnqueueCycle: now,
+		})
+	}
+}
+
+// Tick advances the controller one tick: completions, watermark
+// management, queue drains, and issue.
+func (c *Controller) Tick(now uint64) {
+	c.completeFinished(now)
+	c.updateMode(now)
+	c.drainPending()
+	c.issue(now)
+}
+
+// completeFinished retires operations whose bank time elapsed.
+func (c *Controller) completeFinished(now uint64) {
+	kept := c.inflight[:0]
+	for _, op := range c.inflight {
+		if op.finish > now {
+			kept = append(kept, op)
+			continue
+		}
+		if op.read != nil {
+			c.finishRead(op.read, now)
+		} else {
+			c.finishWrite(op, now)
+		}
+	}
+	c.inflight = kept
+}
+
+// finishRead delivers a completed read.
+func (c *Controller) finishRead(r *ReadReq, now uint64) {
+	c.meter.Read()
+	switch r.Kind {
+	case ReadData:
+		c.env.Stats.RecordReadLatency(float64(now-r.EnqueueTick) / TicksPerNs)
+		if c.onReadDone != nil {
+			c.onReadDone(r, now)
+		}
+	case ReadSMB:
+		if r.Target != nil {
+			stored, err := c.env.Store.Read(r.Line)
+			if err == nil {
+				bits.FNWDecode(&stored, c.flips[r.Line])
+				c.scheme.SMBArrived(r.Target, stored)
+			}
+		}
+	case ReadMeta:
+		c.scheme.MetaArrived(r.Line)
+	}
+}
+
+// finishWrite persists a completed write through the FNW bridge and lets
+// the scheme update its metadata.
+func (c *Controller) finishWrite(op busyOp, now uint64) {
+	req := op.write
+	if req.IsMeta {
+		// Metadata content was persisted to the backing image at
+		// eviction; here the device pays the array write.
+		c.meter.Write(op.latNs, core.MetaLineSize*2)
+		c.retrySpill(now)
+		return
+	}
+	old, err := c.env.Store.Read(req.Line)
+	if err != nil {
+		return
+	}
+	enc := req.Payload
+	var res bits.FNWResult
+	if c.scheme.UseConstrainedFNW() {
+		res = bits.ConstrainedFNW(&old, &enc)
+	} else {
+		res = bits.ClassicFNW(&old, &enc)
+	}
+	c.flips[req.Line] = res.Flips
+	if _, err := c.env.Store.Write(req.Line, enc); err != nil {
+		return
+	}
+	st := c.env.Stats
+	st.BitChanges += uint64(res.BitChanges)
+	st.FNWFlips += uint64(mathbits.OnesCount8(res.Flips))
+	st.FNWCanceled += uint64(res.Canceled)
+	st.FNWUnits += bits.FNWUnits
+	st.WriteServiceNs += float64(now-req.DispatchCycle) / TicksPerNs
+	c.meter.Write(op.latNs, res.BitChanges)
+	c.routeWritebacks(c.scheme.Complete(req, old, enc), now)
+	c.retrySpill(now)
+}
+
+// retrySpill lets the scheme re-attempt deferred metadata acquisitions.
+func (c *Controller) retrySpill(now uint64) {
+	aux, wbs := c.scheme.RetrySpill()
+	c.routeAux(aux, now)
+	c.routeWritebacks(wbs, now)
+}
+
+// updateMode manages the write-drain watermarks; the spill buffer is
+// retried at every mode switch (paper Section 3.3).
+func (c *Controller) updateMode(now uint64) {
+	high := int(math.Ceil(c.cfg.WriteHighFrac * float64(c.cfg.WRQSize)))
+	if !c.writeMode && len(c.wrq) >= high {
+		c.writeMode = true
+		c.retrySpill(now)
+	} else if c.writeMode && len(c.wrq) <= c.cfg.WriteLowEntries {
+		c.writeMode = false
+		c.retrySpill(now)
+	}
+}
+
+// drainPending moves deferred aux reads and metadata writebacks into the
+// queues as space opens.
+func (c *Controller) drainPending() {
+	for len(c.auxPending) > 0 && len(c.rdq) < c.cfg.RDQSize {
+		c.rdq = append(c.rdq, c.auxPending[0])
+		c.auxPending = c.auxPending[1:]
+	}
+	for len(c.wbPending) > 0 && len(c.wrq) < c.cfg.WRQSize {
+		c.wrq = append(c.wrq, c.wbPending[0])
+		c.wbPending = c.wbPending[1:]
+	}
+}
+
+// issue starts operations on free banks. Writes take priority during
+// drain mode; reads otherwise. Auxiliary reads are always eligible (they
+// unblock queued writes), and the controller is work-conserving: leftover
+// free banks serve the other queue.
+func (c *Controller) issue(now uint64) {
+	if c.writeMode {
+		c.issueWrites(now)
+		// Remaining free banks serve reads, auxiliary ones first (they
+		// unblock queued writes). Data reads must stay eligible: a read
+		// queue full of demand reads would otherwise wedge pending
+		// metadata fills and deadlock the drain.
+		c.issueReads(now, true)
+		c.issueReads(now, false)
+	} else {
+		c.issueReads(now, false)
+		// Opportunistic drain when no reads are waiting.
+		if len(c.rdq) == 0 {
+			c.issueWrites(now)
+		}
+	}
+}
+
+// issueReads dispatches queue-order reads to free banks; auxOnly
+// restricts to SMB/metadata reads (drain mode).
+func (c *Controller) issueReads(now uint64, auxOnly bool) {
+	for i := 0; i < len(c.rdq); {
+		r := c.rdq[i]
+		if auxOnly && r.Kind == ReadData {
+			i++
+			continue
+		}
+		bank := c.bankOf(r.Loc)
+		if c.bankBusy[bank] > now {
+			i++
+			continue
+		}
+		dur := uint64(c.cfg.TRCD + c.cfg.TCL + c.cfg.TBurst)
+		c.bankBusy[bank] = now + dur
+		c.inflight = append(c.inflight, busyOp{finish: now + dur, read: r})
+		c.rdq = append(c.rdq[:i], c.rdq[i+1:]...)
+	}
+}
+
+// issueWrites dispatches ready writes in queue order to free banks.
+func (c *Controller) issueWrites(now uint64) {
+	for i := 0; i < len(c.wrq); {
+		req := c.wrq[i]
+		if !req.IsMeta && !c.scheme.Ready(req) {
+			i++
+			continue
+		}
+		bank := c.bankOf(req.Loc)
+		if c.bankBusy[bank] > now {
+			i++
+			continue
+		}
+		var latNs float64
+		if req.IsMeta {
+			// Metadata blocks have no tracked counters; their writes use
+			// the location-dependent worst-content latency (Section 3.3).
+			latNs = c.env.Tables.WL.LocationOnly(req.Loc.WL, req.Loc.BLHigh)
+		} else {
+			latNs = c.scheme.Latency(req)
+		}
+		dur := uint64(c.cfg.TRCD+c.cfg.TBurst) + uint64(math.Ceil(latNs*TicksPerNs))
+		req.DispatchCycle = now
+		c.bankBusy[bank] = now + dur
+		c.inflight = append(c.inflight, busyOp{finish: now + dur, write: req, latNs: latNs})
+		c.wrq = append(c.wrq[:i], c.wrq[i+1:]...)
+	}
+}
+
+// ReadLineLogical performs an immediate functional read (no timing):
+// stored bits through the FNW bridge and the scheme's datapath decode.
+// Used by verification paths and examples.
+func (c *Controller) ReadLineLogical(line uint64) (bits.Line, error) {
+	stored, err := c.env.Store.Read(line)
+	if err != nil {
+		return bits.Line{}, err
+	}
+	bits.FNWDecode(&stored, c.flips[line])
+	return c.scheme.DecodeRead(line, stored), nil
+}

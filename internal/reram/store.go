@@ -1,0 +1,409 @@
+package reram
+
+import (
+	"fmt"
+
+	"ladder/internal/bits"
+)
+
+// rowState holds the stored content of one wordline group plus exact
+// per-wordline LRS counters, maintained incrementally. Wordline m of the
+// group stores byte m of every block mapped to the group, so
+// counters[m] = Σ_blocks popcount(block[m]).
+type rowState struct {
+	data [BlocksPerRow]bits.Line
+	// counters[m] counts the LRS cells on wordline m of the group (range
+	// 0..512 for 64 blocks × 8 bits).
+	counters [BlockSize]uint16
+	// writes counts block writes landing in this row (wear tracking).
+	writes uint64
+}
+
+// matCols is the number of bitlines per mat.
+const matCols = 512
+
+// colState tracks exact per-bitline LRS counts for one mat group: 64 mats
+// × 512 bitlines, counting over the MatRows wordlines of the group. The
+// BLP baseline's profiling circuitry exposes these for free.
+type colState [BlockSize][matCols]uint16
+
+// Store is a sparse model of the ReRAM content: rows are allocated on
+// first write. Untouched memory reads as zero (all HRS), which matches a
+// freshly initialized device.
+type Store struct {
+	geom Geometry
+	rows map[uint64]*rowState
+	// cols tracks per-bitline LRS counts, keyed by mat-group id
+	// (globalRow / MatRows), allocated lazily.
+	cols map[uint64]*colState
+	// totalWrites counts all block writes for wear statistics.
+	totalWrites uint64
+	// residentLevel/residentSeed configure synthetic resident data
+	// (SetResident); level 0 means a fresh all-HRS device.
+	residentLevel int
+	residentSeed  uint64
+	// residentTransform stores resident blocks through the scheme's
+	// datapath (SetResidentTransform).
+	residentTransform func(slot int, l bits.Line) bits.Line
+}
+
+// NewStore returns an empty content store over the given geometry.
+func NewStore(g Geometry) (*Store, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{geom: g, rows: make(map[uint64]*rowState), cols: make(map[uint64]*colState)}, nil
+}
+
+// SetResident enables synthetic resident data: when a wordline group is
+// first touched, every block is filled with structured pseudo-random
+// content. This models a machine in steady state — the paper's warmed-up
+// gem5 checkpoints — rather than a factory-fresh all-HRS device, which
+// matters because per-bitline LRS counts aggregate all rows of a mat
+// group and per-wordline counts aggregate resident neighbors.
+//
+// The structure mirrors real in-memory data: per row, one "dense" byte
+// position per 8-byte word position (think FP exponents or pointer high
+// bytes), aligned across the row's blocks, with the remaining bytes
+// mostly zero. Level selects overall density: 1 ≈ dense (FP-heavy), 2 ≈
+// typical, 3 ≈ sparse (integer/pointer-heavy). Level 0 disables prefill.
+func (s *Store) SetResident(level int, seed uint64) {
+	s.residentLevel = level
+	s.residentSeed = seed
+}
+
+// SetResidentTransform installs the controller datapath's storage
+// transform (e.g. LADDER-Est's intra-line bit shifting): under a scheme
+// that transforms lines before storing them, resident data written before
+// the simulation window would have been stored in transformed form too.
+// The transform receives the block's slot within its wordline group.
+func (s *Store) SetResidentTransform(f func(slot int, l bits.Line) bits.Line) {
+	s.residentTransform = f
+}
+
+// residentHotCold returns the per-level bit statistics: hotMask builds a
+// hot byte by ANDing/ORing rng draws, coldShift sets the zero-byte odds.
+func residentParams(level int) (hotDraws int, coldOdds uint64) {
+	switch {
+	case level <= 1:
+		return 1, 4 // hot p=0.5, cold byte nonzero 1 in 4
+	case level == 2:
+		return 2, 8 // hot p≈0.375, cold 1 in 8
+	default:
+		return 3, 16 // hot p=0.25, cold 1 in 16
+	}
+}
+
+// residentHotByte synthesizes one dense byte for the given level.
+func residentHotByte(rng *splitmixState, hotDraws int) byte {
+	switch hotDraws {
+	case 1:
+		return byte(rng.next())
+	case 2:
+		a, b, c := rng.next(), rng.next(), rng.next()
+		return byte((a | b) & c) // p = 0.375
+	default:
+		return byte(rng.next() & rng.next()) // p = 0.25
+	}
+}
+
+// EnsureRow allocates (and prefils, when resident data is enabled) the
+// wordline group containing the line. The memory controller calls this on
+// first reference so metadata initialization observes resident content.
+func (s *Store) EnsureRow(line uint64) error {
+	loc, err := s.geom.Decode(line)
+	if err != nil {
+		return err
+	}
+	s.ensure(s.geom.GlobalRow(loc), loc)
+	return nil
+}
+
+// ensure returns the row state, allocating and prefilling on first touch.
+func (s *Store) ensure(key uint64, loc Location) *rowState {
+	if r := s.rows[key]; r != nil {
+		return r
+	}
+	r := &rowState{}
+	s.rows[key] = r
+	if s.residentLevel <= 0 {
+		return r
+	}
+	// Fill every block with resident data and build the counters.
+	matGroup := key / uint64(s.geom.MatRows)
+	cs := s.cols[matGroup]
+	if cs == nil {
+		cs = &colState{}
+		s.cols[matGroup] = cs
+	}
+	rng := splitmix(s.residentSeed ^ key*0x9e3779b97f4a7c15)
+	hotDraws, coldOdds := residentParams(s.residentLevel)
+	// One dense byte position per 8-byte word position, fixed per row and
+	// aligned across blocks (the page-repetitive pattern real data shows).
+	var hotPos [BlockSize / 8]int
+	for w := range hotPos {
+		hotPos[w] = w*8 + int(rng.next()&7)
+	}
+	for b := 0; b < BlocksPerRow; b++ {
+		for w := 0; w < BlockSize/8; w++ {
+			for k := 0; k < 8; k++ {
+				pos := w*8 + k
+				var v byte
+				if pos == hotPos[w] {
+					v = residentHotByte(rng, hotDraws)
+				} else if rng.next()%coldOdds == 0 {
+					v = 1 << (rng.next() & 7)
+				}
+				r.data[b][pos] = v
+			}
+		}
+		if s.residentTransform != nil {
+			r.data[b] = s.residentTransform(b, r.data[b])
+		}
+		base := b * 8
+		for m := 0; m < BlockSize; m++ {
+			c := r.data[b][m]
+			r.counters[m] += uint16(onesOf(c))
+			for k := 0; k < 8; k++ {
+				if c&(1<<uint(k)) != 0 {
+					cs[m][base+k]++
+				}
+			}
+		}
+	}
+	return r
+}
+
+// splitmix is a tiny deterministic PRNG for resident-data synthesis.
+type splitmixState struct{ x uint64 }
+
+func splitmix(seed uint64) *splitmixState { return &splitmixState{x: seed} }
+
+func (s *splitmixState) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Geometry returns the store's geometry.
+func (s *Store) Geometry() Geometry { return s.geom }
+
+// row fetches (without allocating) the state of a global row.
+func (s *Store) row(globalRow uint64) *rowState { return s.rows[globalRow] }
+
+// Read returns the stored content of the block at the given line address.
+func (s *Store) Read(line uint64) (bits.Line, error) {
+	loc, err := s.geom.Decode(line)
+	if err != nil {
+		return bits.Line{}, err
+	}
+	r := s.row(s.geom.GlobalRow(loc))
+	if r == nil {
+		return bits.Line{}, nil
+	}
+	return r.data[loc.Slot], nil
+}
+
+// Write stores new content at the line address and returns the previous
+// content. Per-wordline counters are updated incrementally.
+func (s *Store) Write(line uint64, data bits.Line) (old bits.Line, err error) {
+	loc, err := s.geom.Decode(line)
+	if err != nil {
+		return bits.Line{}, err
+	}
+	key := s.geom.GlobalRow(loc)
+	r := s.ensure(key, loc)
+	old = r.data[loc.Slot]
+	for m := 0; m < BlockSize; m++ {
+		delta := int(onesOf(data[m])) - int(onesOf(old[m]))
+		r.counters[m] = uint16(int(r.counters[m]) + delta)
+	}
+	// Update per-bitline counters for the changed bits.
+	matGroup := key / uint64(s.geom.MatRows)
+	cs := s.cols[matGroup]
+	if cs == nil {
+		cs = &colState{}
+		s.cols[matGroup] = cs
+	}
+	base := loc.Slot * 8
+	for m := 0; m < BlockSize; m++ {
+		changed := old[m] ^ data[m]
+		if changed == 0 {
+			continue
+		}
+		for k := 0; k < 8; k++ {
+			if changed&(1<<uint(k)) == 0 {
+				continue
+			}
+			if data[m]&(1<<uint(k)) != 0 {
+				cs[m][base+k]++
+			} else {
+				cs[m][base+k]--
+			}
+		}
+	}
+	r.data[loc.Slot] = data
+	r.writes++
+	s.totalWrites++
+	return old, nil
+}
+
+// MaxSelectedColCount returns the worst per-bitline LRS count among the
+// bitlines a write to the given line would select (8 bitlines in each of
+// the 64 mats). This models the BLP baseline's bitline profiling readout.
+func (s *Store) MaxSelectedColCount(line uint64) (int, error) {
+	loc, err := s.geom.Decode(line)
+	if err != nil {
+		return 0, err
+	}
+	cs := s.cols[s.geom.GlobalRow(loc)/uint64(s.geom.MatRows)]
+	if cs == nil {
+		return 0, nil
+	}
+	base := loc.Slot * 8
+	m := uint16(0)
+	for mat := 0; mat < BlockSize; mat++ {
+		for k := 0; k < 8; k++ {
+			if c := cs[mat][base+k]; c > m {
+				m = c
+			}
+		}
+	}
+	return int(m), nil
+}
+
+// MaxRowCounterUnshifted returns C^w_lrs as it would be if every stored
+// block were reverse-shifted into LADDER-Basic's raw bit layout. The
+// Figure 15 estimation-accuracy study compares LADDER-Est's estimates
+// (taken over shifted data) against exactly this quantity.
+func (s *Store) MaxRowCounterUnshifted(line uint64) (int, error) {
+	loc, err := s.geom.Decode(line)
+	if err != nil {
+		return 0, err
+	}
+	r := s.row(s.geom.GlobalRow(loc))
+	if r == nil {
+		return 0, nil
+	}
+	var counters [BlockSize]int
+	for b := 0; b < BlocksPerRow; b++ {
+		raw := bits.Unshifted(r.data[b], b)
+		for m := 0; m < BlockSize; m++ {
+			counters[m] += int(onesOf(raw[m]))
+		}
+	}
+	max := 0
+	for _, c := range counters {
+		if c > max {
+			max = c
+		}
+	}
+	return max, nil
+}
+
+// RowCounters returns a copy of the exact per-wordline LRS counters of the
+// wordline group containing the given line address.
+func (s *Store) RowCounters(line uint64) ([BlockSize]uint16, error) {
+	loc, err := s.geom.Decode(line)
+	if err != nil {
+		return [BlockSize]uint16{}, err
+	}
+	r := s.row(s.geom.GlobalRow(loc))
+	if r == nil {
+		return [BlockSize]uint16{}, nil
+	}
+	return r.counters, nil
+}
+
+// MaxRowCounter returns the exact worst-wordline LRS count C^w_lrs of the
+// wordline group containing the line — the quantity the Oracle scheme is
+// allowed to read for free and LADDER must estimate.
+func (s *Store) MaxRowCounter(line uint64) (int, error) {
+	cs, err := s.RowCounters(line)
+	if err != nil {
+		return 0, err
+	}
+	m := uint16(0)
+	for _, c := range cs {
+		if c > m {
+			m = c
+		}
+	}
+	return int(m), nil
+}
+
+// RecountRow recomputes the row counters from the stored data, for
+// validation against the incremental ones.
+func (s *Store) RecountRow(line uint64) ([BlockSize]uint16, error) {
+	loc, err := s.geom.Decode(line)
+	if err != nil {
+		return [BlockSize]uint16{}, err
+	}
+	var out [BlockSize]uint16
+	r := s.row(s.geom.GlobalRow(loc))
+	if r == nil {
+		return out, nil
+	}
+	for m := 0; m < BlockSize; m++ {
+		total := 0
+		for b := 0; b < BlocksPerRow; b++ {
+			total += int(onesOf(r.data[b][m]))
+		}
+		out[m] = uint16(total)
+	}
+	return out, nil
+}
+
+// RowWrites returns how many block writes landed in the row containing
+// the line address.
+func (s *Store) RowWrites(line uint64) (uint64, error) {
+	loc, err := s.geom.Decode(line)
+	if err != nil {
+		return 0, err
+	}
+	r := s.row(s.geom.GlobalRow(loc))
+	if r == nil {
+		return 0, nil
+	}
+	return r.writes, nil
+}
+
+// TotalWrites returns the total number of block writes served.
+func (s *Store) TotalWrites() uint64 { return s.totalWrites }
+
+// TouchedRows returns the number of allocated (written) wordline groups.
+func (s *Store) TouchedRows() int { return len(s.rows) }
+
+// MaxRowWrites returns the largest per-row write count, the quantity the
+// worst-cell lifetime model keys on.
+func (s *Store) MaxRowWrites() uint64 {
+	var m uint64
+	for _, r := range s.rows {
+		if r.writes > m {
+			m = r.writes
+		}
+	}
+	return m
+}
+
+// String summarizes the store.
+func (s *Store) String() string {
+	return fmt.Sprintf("reram.Store{rows: %d, writes: %d}", len(s.rows), s.totalWrites)
+}
+
+var onesTable [256]uint8
+
+func init() {
+	for i := range onesTable {
+		v, n := i, 0
+		for v != 0 {
+			v &= v - 1
+			n++
+		}
+		onesTable[i] = uint8(n)
+	}
+}
+
+func onesOf(b byte) uint8 { return onesTable[b] }

@@ -1,0 +1,444 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ladder/internal/core"
+	"ladder/internal/timing"
+	"ladder/internal/trace"
+)
+
+// Options scopes an experiment run.
+type Options struct {
+	// Instr is the per-core instruction budget (0 = 200k).
+	Instr uint64
+	// Seed makes the experiment deterministic.
+	Seed int64
+	// Tables overrides the timing tables (nil = full 512×512 set).
+	Tables *timing.TableSet
+	// Workloads restricts the workload list (nil = all sixteen).
+	Workloads []string
+}
+
+func (o Options) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return trace.AllWorkloads()
+}
+
+func (o Options) config(workload, scheme string) Config {
+	return Config{
+		Workload:     workload,
+		Scheme:       scheme,
+		InstrPerCore: o.Instr,
+		Seed:         o.Seed,
+		Tables:       o.Tables,
+	}
+}
+
+// Grid holds results for every (workload, scheme) pair of an experiment.
+type Grid struct {
+	Workloads []string
+	Schemes   []string
+	// Results[workload][scheme]
+	Results map[string]map[string]*Result
+}
+
+// RunGrid simulates every workload under every scheme. Runs are
+// independent (each builds its own memory image), so they execute on a
+// worker pool sized to the machine.
+func RunGrid(opts Options, schemes []string) (*Grid, error) {
+	g := &Grid{
+		Workloads: opts.workloads(),
+		Schemes:   schemes,
+		Results:   make(map[string]map[string]*Result),
+	}
+	// Resolve the shared timing tables up front so workers do not race on
+	// the lazy default-table generation.
+	if opts.Tables == nil {
+		ts, err := timing.DefaultTableSet()
+		if err != nil {
+			return nil, err
+		}
+		opts.Tables = ts
+	}
+	type cell struct{ w, s string }
+	cells := make([]cell, 0, len(g.Workloads)*len(schemes))
+	for _, w := range g.Workloads {
+		g.Results[w] = make(map[string]*Result)
+		for _, s := range schemes {
+			cells = append(cells, cell{w, s})
+		}
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, c := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c cell) {
+			defer func() { <-sem; wg.Done() }()
+			res, err := Run(opts.config(c.w, c.s))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("running %s/%s: %w", c.w, c.s, err)
+				}
+				return
+			}
+			g.Results[c.w][c.s] = res
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return g, nil
+}
+
+// Baseline returns a workload's baseline result; RunGrid callers must
+// include SchemeBaseline for the normalized views to work.
+func (g *Grid) baseline(workload string) *Result {
+	return g.Results[workload][SchemeBaseline]
+}
+
+// Row is one workload's series values keyed by scheme (or series name).
+type Row struct {
+	Workload string
+	Values   map[string]float64
+}
+
+// rows applies a per-result metric, normalized by the baseline metric
+// when norm is set.
+func (g *Grid) rows(metric func(*Result) float64, norm bool) []Row {
+	out := make([]Row, 0, len(g.Workloads))
+	for _, w := range g.Workloads {
+		r := Row{Workload: w, Values: make(map[string]float64)}
+		base := 1.0
+		if norm {
+			base = metric(g.baseline(w))
+		}
+		for _, s := range g.Schemes {
+			v := metric(g.Results[w][s])
+			if norm && base > 0 {
+				v /= base
+			}
+			r.Values[s] = v
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Average appends an AVG row (arithmetic mean across workloads).
+func Average(rows []Row) Row {
+	avg := Row{Workload: "AVG", Values: make(map[string]float64)}
+	if len(rows) == 0 {
+		return avg
+	}
+	for _, r := range rows {
+		for k, v := range r.Values {
+			avg.Values[k] += v
+		}
+	}
+	for k := range avg.Values {
+		avg.Values[k] /= float64(len(rows))
+	}
+	return avg
+}
+
+// WriteServiceTime derives Figure 12: average write service time
+// normalized to baseline.
+func (g *Grid) WriteServiceTime() []Row {
+	return g.rows(func(r *Result) float64 { return r.Stats.AvgWriteServiceNs() }, true)
+}
+
+// ReadLatency derives Figure 13: average processor read latency
+// (queuing + service) normalized to baseline.
+func (g *Grid) ReadLatency() []Row {
+	return g.rows(func(r *Result) float64 { return r.Stats.AvgReadLatencyNs() }, true)
+}
+
+// ExtraReads and ExtraWrites derive Figure 14: metadata/SMB traffic
+// relative to the baseline's data traffic.
+func (g *Grid) ExtraReads() []Row {
+	return g.rows(func(r *Result) float64 { return r.Stats.ExtraReadFraction() }, false)
+}
+
+// ExtraWrites derives Figure 14b.
+func (g *Grid) ExtraWrites() []Row {
+	return g.rows(func(r *Result) float64 { return r.Stats.ExtraWriteFraction() }, false)
+}
+
+// Speedup derives Figures 2 and 16: weighted speedup over baseline.
+func (g *Grid) Speedup() []Row {
+	out := make([]Row, 0, len(g.Workloads))
+	for _, w := range g.Workloads {
+		base := g.baseline(w)
+		r := Row{Workload: w, Values: make(map[string]float64)}
+		for _, s := range g.Schemes {
+			r.Values[s] = g.Results[w][s].WeightedSpeedup(base)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// EnergySplit is one workload's dynamic-energy breakdown per scheme,
+// normalized to the baseline total (Figure 17).
+type EnergySplit struct {
+	Workload string
+	// Read and Write are normalized energies keyed by scheme.
+	Read, Write map[string]float64
+}
+
+// DynamicEnergy derives Figure 17.
+func (g *Grid) DynamicEnergy() []EnergySplit {
+	out := make([]EnergySplit, 0, len(g.Workloads))
+	for _, w := range g.Workloads {
+		base := g.baseline(w)
+		total := base.ReadNJ + base.WriteNJ
+		es := EnergySplit{Workload: w, Read: map[string]float64{}, Write: map[string]float64{}}
+		for _, s := range g.Schemes {
+			r := g.Results[w][s]
+			if total > 0 {
+				es.Read[s] = r.ReadNJ / total
+				es.Write[s] = r.WriteNJ / total
+			}
+		}
+		out = append(out, es)
+	}
+	return out
+}
+
+// CounterDiffs derives Figure 15: the mean (estimated − accurate) C_lrs
+// gap for LADDER-Est without (a) and with (b) intra-line shifting. The
+// grid must include SchemeEst and SchemeEstNoShift.
+func (g *Grid) CounterDiffs() []Row {
+	out := make([]Row, 0, len(g.Workloads))
+	for _, w := range g.Workloads {
+		r := Row{Workload: w, Values: make(map[string]float64)}
+		if res := g.Results[w][SchemeEstNoShift]; res != nil {
+			r.Values["without-shift"] = res.Stats.AvgCounterDiff()
+		}
+		if res := g.Results[w][SchemeEst]; res != nil {
+			r.Values["with-shift"] = res.Stats.AvgCounterDiff()
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// RelativeLifetime derives Section 6.4's lifetime comparison: lifetime
+// under ideal wear leveling scales inversely with total write traffic
+// (data + metadata maintenance).
+func (g *Grid) RelativeLifetime() []Row {
+	return g.rows(func(r *Result) float64 {
+		total := float64(r.Stats.DataWrites + r.Stats.MetaWrites)
+		if total == 0 {
+			return 1
+		}
+		return float64(r.Stats.DataWrites) / total
+	}, false)
+}
+
+// FNWCancellation derives the Section 6.1 datum: the fraction of FNW
+// flip opportunities canceled by LADDER's ones constraint (reported <4%).
+func (g *Grid) FNWCancellation() []Row {
+	return g.rows(func(r *Result) float64 {
+		if r.Stats.FNWUnits == 0 {
+			return 0
+		}
+		return float64(r.Stats.FNWCanceled) / float64(r.Stats.FNWUnits)
+	}, false)
+}
+
+// RangeAblation runs Section 7's process-variation study: it reports the
+// fraction of a scheme's speedup retained when the timing tables' dynamic
+// range shrinks by `factor` (the paper: 2× shrink retains ~85% on
+// average).
+func RangeAblation(opts Options, scheme string, factor float64) ([]Row, error) {
+	out := make([]Row, 0, len(opts.workloads()))
+	for _, w := range opts.workloads() {
+		full := map[string]*Result{}
+		shr := map[string]*Result{}
+		for _, s := range []string{SchemeBaseline, scheme} {
+			r, err := Run(opts.config(w, s))
+			if err != nil {
+				return nil, err
+			}
+			full[s] = r
+			cfg := opts.config(w, s)
+			cfg.ShrinkRange = factor
+			r2, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			shr[s] = r2
+		}
+		gainFull := full[scheme].WeightedSpeedup(full[SchemeBaseline]) - 1
+		gainShr := shr[scheme].WeightedSpeedup(shr[SchemeBaseline]) - 1
+		retained := 0.0
+		if gainFull > 0 {
+			retained = gainShr / gainFull
+		}
+		out = append(out, Row{Workload: w, Values: map[string]float64{
+			"gain-full":   gainFull,
+			"gain-shrunk": gainShr,
+			"retained":    retained,
+		}})
+	}
+	return out, nil
+}
+
+// CrashRecoveryStudy runs Section 7's crash-consistency scenario: a power
+// failure halfway through the run loses cached LRS-metadata, the lazy
+// conservative correction overwrites the region with maximum values, and
+// execution resumes. Reported per workload: average write service before
+// and after the crash, and the post-crash counter gap (how conservative
+// the corrected metadata still is on average).
+func CrashRecoveryStudy(opts Options, scheme string) ([]Row, error) {
+	out := make([]Row, 0, len(opts.workloads()))
+	for _, w := range opts.workloads() {
+		cfg := opts.config(w, scheme)
+		cfg.CrashAtInstr = cfg.InstrPerCore / 2
+		if cfg.CrashAtInstr == 0 {
+			cfg.CrashAtInstr = 100_000
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r := Row{Workload: w, Values: map[string]float64{}}
+		if res.PreCrashStats != nil && res.PostCrashStats != nil {
+			r.Values["pre-service-ns"] = res.PreCrashStats.AvgWriteServiceNs()
+			r.Values["post-service-ns"] = res.PostCrashStats.AvgWriteServiceNs()
+			r.Values["post-counter-gap"] = res.PostCrashStats.AvgCounterDiff()
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// VWLModeComparison contrasts segment-based and line-based vertical wear
+// leveling under a LADDER scheme (Section 6.4's locality argument):
+// line-granularity scatter breaks the page→metadata-line association, so
+// metadata reads per data write rise and IPC falls.
+func VWLModeComparison(opts Options, scheme string) ([]Row, error) {
+	out := make([]Row, 0, len(opts.workloads()))
+	for _, w := range opts.workloads() {
+		r := Row{Workload: w, Values: map[string]float64{}}
+		for _, mode := range []string{"segment", "line"} {
+			cfg := opts.config(w, scheme)
+			cfg.WearLeveling = true
+			cfg.VWLMode = mode
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			metaPerWrite := 0.0
+			if res.Stats.DataWrites > 0 {
+				metaPerWrite = float64(res.Stats.MetaReads) / float64(res.Stats.DataWrites)
+			}
+			r.Values[mode+"-ipc"] = res.AvgIPC()
+			r.Values[mode+"-metareads"] = metaPerWrite
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// CacheSizeSweep runs the metadata-cache ablation the paper mentions in
+// Section 6.3 ("marginal system performance gain when increasing cache
+// size (<2%)"): the scheme runs with a range of LRS-metadata cache sizes
+// and reports IPC relative to the default 64 KB configuration.
+func CacheSizeSweep(opts Options, scheme string, sizesKB []int) ([]Row, error) {
+	if len(sizesKB) == 0 {
+		sizesKB = []int{16, 32, 64, 128, 256}
+	}
+	out := make([]Row, 0, len(opts.workloads()))
+	for _, w := range opts.workloads() {
+		base, err := Run(opts.config(w, scheme))
+		if err != nil {
+			return nil, err
+		}
+		r := Row{Workload: w, Values: map[string]float64{}}
+		for _, kb := range sizesKB {
+			cfg := opts.config(w, scheme)
+			cfg.MetaCache = core.MetaCacheConfig{SizeBytes: kb << 10, Ways: 4, SpillSize: 16}
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rel := 0.0
+			if base.AvgIPC() > 0 {
+				rel = res.AvgIPC() / base.AvgIPC()
+			}
+			r.Values[fmt.Sprintf("%dKB", kb)] = rel
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// LowPrecisionSweep ablates LADDER-Hybrid's precision control register:
+// how many driver-near rows use 1-bit counters. 0 degenerates to
+// LADDER-Est; MatRows makes everything low-precision. Reported: average
+// write service time (ns) and metadata reads per data write.
+func LowPrecisionSweep(opts Options, rows []int) ([]Row, error) {
+	if len(rows) == 0 {
+		rows = []int{0, 64, 128, 256, 512}
+	}
+	out := make([]Row, 0, len(opts.workloads()))
+	for _, w := range opts.workloads() {
+		r := Row{Workload: w, Values: map[string]float64{}}
+		for _, n := range rows {
+			cfg := opts.config(w, SchemeHybrid)
+			cfg.HybridLowRows = n
+			if n == 0 {
+				cfg.HybridLowRows = -1
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			r.Values[fmt.Sprintf("rows=%d svc", n)] = res.Stats.AvgWriteServiceNs()
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WearLevelingImpact runs Section 6.4's performance check: the IPC cost
+// of enabling segment-based VWL under a LADDER scheme.
+func WearLevelingImpact(opts Options, scheme string) ([]Row, error) {
+	out := make([]Row, 0, len(opts.workloads()))
+	for _, w := range opts.workloads() {
+		plain, err := Run(opts.config(w, scheme))
+		if err != nil {
+			return nil, err
+		}
+		cfg := opts.config(w, scheme)
+		cfg.WearLeveling = true
+		wl, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if plain.AvgIPC() > 0 {
+			ratio = wl.AvgIPC() / plain.AvgIPC()
+		}
+		out = append(out, Row{Workload: w, Values: map[string]float64{
+			"ipc-ratio": ratio,
+			"gap-moves": float64(wl.GapMoves),
+		}})
+	}
+	return out, nil
+}

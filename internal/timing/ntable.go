@@ -1,0 +1,148 @@
+package timing
+
+import (
+	"fmt"
+
+	"ladder/internal/circuit"
+)
+
+// NTable is a write-timing table with a configurable bucket count per
+// dimension, used to study the cost of the paper's 8×8×8 reduction
+// (Section 5: "the most fine-grained latency model ... is impractical";
+// the paper reports the reduced granularity costs under 3%).
+type NTable struct {
+	// B is the bucket count per dimension; Granularity is cells/bucket.
+	B           int
+	Granularity int
+	Content     ContentDim
+	// LatNs is B×B×B in row-major (wl, bl, content) order.
+	LatNs []float64
+}
+
+// index computes the flat offset of a bucket triple.
+func (t *NTable) index(wb, bb, cb int) int { return (wb*t.B+bb)*t.B + cb }
+
+// bucketOf clamps and buckets a raw index.
+func (t *NTable) bucketOf(idx int) int {
+	if idx < 0 {
+		idx = 0
+	}
+	b := idx / t.Granularity
+	if b >= t.B {
+		b = t.B - 1
+	}
+	return b
+}
+
+// Lookup returns the latency for raw wordline/bitline/content indices.
+func (t *NTable) Lookup(wl, bl, clrs int) float64 {
+	return t.LatNs[t.index(t.bucketOf(wl), t.bucketOf(bl), t.bucketOf(clrs))]
+}
+
+// StorageBytes returns the on-chip cost at one byte per entry (the SPD
+// encoding): the paper's 8×8×8 table needs 512 B; a 32×32×32 table would
+// need 32 KB — the impracticality that motivates the reduction.
+func (t *NTable) StorageBytes() int { return t.B * t.B * t.B }
+
+// GenerateN builds a timing table with `buckets` buckets per dimension,
+// sampling each bucket's worst corner like Generate.
+func GenerateN(p circuit.Params, m Model, buckets int, opts TableOptions) (*NTable, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if buckets <= 0 || p.N%buckets != 0 {
+		return nil, fmt.Errorf("timing: %d buckets must divide crossbar size %d", buckets, p.N)
+	}
+	sel := p.SelectedCells
+	if opts.SelectedCells != 0 {
+		sel = opts.SelectedCells
+	}
+	gran := p.N / buckets
+	if sel <= 0 || sel > p.N {
+		return nil, fmt.Errorf("timing: selected cells %d out of range 1..%d", sel, p.N)
+	}
+	f, err := circuit.NewFastModel(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &NTable{B: buckets, Granularity: gran, Content: opts.Content, LatNs: make([]float64, buckets*buckets*buckets)}
+	for wb := 0; wb < buckets; wb++ {
+		row := (wb+1)*gran - 1
+		for bb := 0; bb < buckets; bb++ {
+			// The selected byte's bitlines end at the bucket's top column;
+			// with buckets finer than a byte the span reaches back across
+			// neighboring buckets.
+			colHigh := (bb + 1) * gran
+			if colHigh < sel {
+				colHigh = sel
+			}
+			cols := make([]int, sel)
+			for i := range cols {
+				cols[i] = colHigh - sel + i
+			}
+			for cb := 0; cb < buckets; cb++ {
+				content := (cb+1)*gran - 1
+				var op circuit.FastOp
+				switch opts.Content {
+				case WLContent:
+					wl := content
+					if wl > p.N-sel {
+						wl = p.N - sel
+					}
+					op = circuit.FastOp{Row: row, Cols: cols, WLLRS: wl, BLLRS: p.N - 1}
+				case BLContent:
+					bl := content
+					if bl > p.N-1 {
+						bl = p.N - 1
+					}
+					op = circuit.FastOp{Row: row, Cols: cols, WLLRS: p.N - sel, BLLRS: bl}
+				default:
+					return nil, fmt.Errorf("timing: unknown content dimension %d", opts.Content)
+				}
+				res, err := f.Solve(op)
+				if err != nil {
+					return nil, fmt.Errorf("generating bucket (%d,%d,%d): %w", wb, bb, cb, err)
+				}
+				t.LatNs[t.index(wb, bb, cb)] = m.Latency(res.MinVd)
+			}
+		}
+	}
+	return t, nil
+}
+
+// GranularityCost compares a coarse table against a finer reference over
+// every fine-table operating point: the mean and maximum latency
+// inflation the coarse bucketing adds (coarse lookups are always ≥ the
+// fine ones by construction). This quantifies Section 5's claim that the
+// 8×8×8 reduction costs little.
+func GranularityCost(coarse, fine *NTable) (meanInflation, maxInflation float64, err error) {
+	if fine.B%coarse.B != 0 {
+		return 0, 0, fmt.Errorf("timing: fine buckets %d must be a multiple of coarse %d", fine.B, coarse.B)
+	}
+	var sum float64
+	var n int
+	for wb := 0; wb < fine.B; wb++ {
+		for bb := 0; bb < fine.B; bb++ {
+			for cb := 0; cb < fine.B; cb++ {
+				f := fine.LatNs[fine.index(wb, bb, cb)]
+				c := coarse.Lookup((wb+1)*fine.Granularity-1, (bb+1)*fine.Granularity-1, (cb+1)*fine.Granularity-1)
+				if f <= 0 {
+					continue
+				}
+				infl := c/f - 1
+				if infl < 0 {
+					infl = 0
+				}
+				sum += infl
+				if infl > maxInflation {
+					maxInflation = infl
+				}
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		meanInflation = sum / float64(n)
+	}
+	return meanInflation, maxInflation, nil
+}

@@ -1,0 +1,96 @@
+package timing
+
+import (
+	"testing"
+)
+
+func TestGenerateNMatchesTableAt8(t *testing.T) {
+	p := testParams()
+	m, err := Calibrate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := Generate(p, m, TableOptions{Content: WLContent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n8, err := GenerateN(p, m, 8, TableOptions{Content: WLContent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wb := 0; wb < Buckets; wb++ {
+		for bb := 0; bb < Buckets; bb++ {
+			for cb := 0; cb < Buckets; cb++ {
+				if t8.LatNs[wb][bb][cb] != n8.LatNs[n8.index(wb, bb, cb)] {
+					t.Fatalf("(%d,%d,%d) diverges between Table and NTable", wb, bb, cb)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateNValidation(t *testing.T) {
+	p := testParams()
+	m := Model{C: 1, K: 1, MinNs: 29, MaxNs: 658}
+	if _, err := GenerateN(p, m, 0, TableOptions{}); err == nil {
+		t.Fatal("zero buckets should fail")
+	}
+	if _, err := GenerateN(p, m, 7, TableOptions{}); err == nil {
+		t.Fatal("non-dividing buckets should fail")
+	}
+	if _, err := GenerateN(p, m, 8, TableOptions{SelectedCells: -2}); err == nil {
+		t.Fatal("negative selected cells should fail")
+	}
+}
+
+func TestNTableLookupClamps(t *testing.T) {
+	nt := &NTable{B: 4, Granularity: 8, LatNs: make([]float64, 64)}
+	nt.LatNs[nt.index(3, 3, 3)] = 42
+	if got := nt.Lookup(999, 999, 999); got != 42 {
+		t.Fatalf("clamped lookup = %v", got)
+	}
+	if got := nt.Lookup(-1, -1, -1); got != nt.LatNs[0] {
+		t.Fatalf("negative lookup = %v", got)
+	}
+	if got := nt.StorageBytes(); got != 64 {
+		t.Fatalf("storage = %d", got)
+	}
+}
+
+// TestGranularityCostSmall reproduces the Section 5 claim analytically:
+// the 8-bucket reduction inflates latencies only mildly relative to a
+// 4x finer table, and the coarse table is never optimistic.
+func TestGranularityCostSmall(t *testing.T) {
+	p := testParams() // 128x128 crossbar keeps generation fast
+	m, err := Calibrate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := GenerateN(p, m, 8, TableOptions{Content: WLContent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := GenerateN(p, m, 32, TableOptions{Content: WLContent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, max, err := GranularityCost(coarse, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 0 || max < mean {
+		t.Fatalf("inconsistent inflation stats: mean %v max %v", mean, max)
+	}
+	// The bucket-corner construction guarantees conservatism; the paper
+	// reports <3% performance impact — the static latency inflation
+	// should be bounded (well under 2x even at the worst point).
+	if max > 1.0 {
+		t.Fatalf("max inflation %v implausibly high", max)
+	}
+	if mean > 0.35 {
+		t.Fatalf("mean inflation %v implausibly high", mean)
+	}
+	if _, _, err := GranularityCost(fine, coarse); err == nil {
+		t.Fatal("mismatched bucket ratio should fail")
+	}
+}

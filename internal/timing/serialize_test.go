@@ -1,0 +1,95 @@
+package timing
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSPDRoundTripConservative(t *testing.T) {
+	ts, err := NewTableSet(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd := ts.WL.EncodeSPD()
+	dec, err := DecodeSPD(spd, ts.WL.Granularity, ts.WL.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := float64(MaxLatencyNs-MinLatencyNs) / 255
+	for wb := 0; wb < Buckets; wb++ {
+		for bb := 0; bb < Buckets; bb++ {
+			for cb := 0; cb < Buckets; cb++ {
+				orig := ts.WL.LatNs[wb][bb][cb]
+				got := dec.LatNs[wb][bb][cb]
+				if got < orig-1e-9 {
+					t.Fatalf("(%d,%d,%d): decoded %v optimistic vs %v", wb, bb, cb, got, orig)
+				}
+				if got > orig+span+1e-9 {
+					t.Fatalf("(%d,%d,%d): decoded %v too pessimistic vs %v", wb, bb, cb, got, orig)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeSPDValidation(t *testing.T) {
+	var spd [SPDBytes]byte
+	if _, err := DecodeSPD(spd, 0, WLContent); err == nil {
+		t.Fatal("zero granularity should fail")
+	}
+}
+
+func TestSPDSizeMatchesPaper(t *testing.T) {
+	if SPDBytes != 512 {
+		t.Fatalf("SPD image = %d bytes, want 512 (paper Section 6.3)", SPDBytes)
+	}
+}
+
+func TestTableSetSaveLoadRoundTrip(t *testing.T) {
+	ts, err := NewTableSet(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTableSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WorstNs != ts.WorstNs || *got.WL != *ts.WL || *got.BL != *ts.BL || *got.Half != *ts.Half {
+		t.Fatal("round trip mismatch")
+	}
+	if got.Model != ts.Model {
+		t.Fatal("model mismatch")
+	}
+}
+
+func TestTableSetSaveLoadFile(t *testing.T) {
+	ts, err := NewTableSet(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tables.gob")
+	if err := ts.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTableSetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.WL != *ts.WL {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadTableSetFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestLoadTableSetRejectsGarbage(t *testing.T) {
+	if _, err := LoadTableSet(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}

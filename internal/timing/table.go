@@ -1,0 +1,175 @@
+package timing
+
+import (
+	"fmt"
+
+	"ladder/internal/circuit"
+)
+
+// Buckets is the number of buckets per table dimension. The paper reduces
+// the full 512×512×512 space to 8×8×8 (granularity 64) after observing
+// that finer granularity changes performance by under 3%.
+const Buckets = 8
+
+// ContentDim selects which crossbar dimension the table's content axis
+// tracks.
+type ContentDim int
+
+const (
+	// WLContent keys the content axis on the LRS population of the
+	// selected wordline (LADDER's scheme); bitline content is assumed
+	// worst-case.
+	WLContent ContentDim = iota
+	// BLContent keys the content axis on the LRS population of the
+	// selected bitlines (the BLP baseline); wordline content is assumed
+	// worst-case.
+	BLContent
+)
+
+// TableOptions configures table generation.
+type TableOptions struct {
+	// SelectedCells overrides Params.SelectedCells when non-zero (the
+	// Split-reset baseline writes 4 cells per phase instead of 8).
+	SelectedCells int
+	// Content selects the content axis (default WLContent).
+	Content ContentDim
+}
+
+// Table is a write-timing table: RESET latency in nanoseconds indexed by
+// wordline-location bucket, bitline-location bucket and content bucket.
+// It is the lookup structure the LADDER control logic holds on chip
+// (512 B as 8 sub-tables of 8×8 entries).
+type Table struct {
+	// Granularity is the number of cells covered by one bucket.
+	Granularity int
+	// Content records which dimension the content axis tracks.
+	Content ContentDim
+	// LatNs[wl][bl][content] is the RESET latency in nanoseconds.
+	LatNs [Buckets][Buckets][Buckets]float64
+}
+
+// bucketOf clamps and buckets a raw index.
+func (t *Table) bucketOf(idx int) int {
+	if idx < 0 {
+		idx = 0
+	}
+	b := idx / t.Granularity
+	if b >= Buckets {
+		b = Buckets - 1
+	}
+	return b
+}
+
+// Lookup returns the latency for a write at raw wordline index wl, raw
+// bitline index bl, with raw content count clrs (LRS cells on the keyed
+// dimension). Indices are clamped into the table domain.
+func (t *Table) Lookup(wl, bl, clrs int) float64 {
+	return t.LatNs[t.bucketOf(wl)][t.bucketOf(bl)][t.bucketOf(clrs)]
+}
+
+// WorstCase returns the pessimistic fixed latency (the baseline scheme's
+// tWR): the worst entry in the table.
+func (t *Table) WorstCase() float64 {
+	w := 0.0
+	for i := range t.LatNs {
+		for j := range t.LatNs[i] {
+			for k := range t.LatNs[i][j] {
+				if t.LatNs[i][j][k] > w {
+					w = t.LatNs[i][j][k]
+				}
+			}
+		}
+	}
+	return w
+}
+
+// LocationOnly returns the latency assuming worst-case content at the
+// given location (the location-aware scheme of Figure 2).
+func (t *Table) LocationOnly(wl, bl int) float64 {
+	return t.LatNs[t.bucketOf(wl)][t.bucketOf(bl)][Buckets-1]
+}
+
+// ShrinkRange compresses the table's content-induced latency spread by
+// the given factor (Section 7's process-variability ablation: devices
+// with tighter RESET characteristics show less content-dependent latency
+// variation). At every location the worst-content entry — the guardband
+// the pessimistic baseline also uses — is preserved, and the faster
+// content levels move toward it.
+func (t *Table) ShrinkRange(factor float64) *Table {
+	if factor <= 0 {
+		factor = 1
+	}
+	out := &Table{Granularity: t.Granularity, Content: t.Content}
+	for i := range t.LatNs {
+		for j := range t.LatNs[i] {
+			worst := t.LatNs[i][j][Buckets-1]
+			for k := range t.LatNs[i][j] {
+				out.LatNs[i][j][k] = worst - (worst-t.LatNs[i][j][k])/factor
+			}
+		}
+	}
+	return out
+}
+
+// Generate builds a timing table by sweeping the reduced circuit model
+// over the worst corner of every bucket (maximum wordline index, maximum
+// bitline index and maximum content count within the bucket), so a lookup
+// is always sufficient for any operating point inside the bucket.
+func Generate(p circuit.Params, m Model, opts TableOptions) (*Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.N%Buckets != 0 {
+		return nil, fmt.Errorf("timing: crossbar size %d not divisible into %d buckets", p.N, Buckets)
+	}
+	sel := p.SelectedCells
+	if opts.SelectedCells != 0 {
+		sel = opts.SelectedCells
+	}
+	if sel <= 0 || sel > p.N/Buckets {
+		return nil, fmt.Errorf("timing: selected cells %d out of range 1..%d", sel, p.N/Buckets)
+	}
+	f, err := circuit.NewFastModel(p)
+	if err != nil {
+		return nil, err
+	}
+	gran := p.N / Buckets
+	tbl := &Table{Granularity: gran, Content: opts.Content}
+	for wb := 0; wb < Buckets; wb++ {
+		row := (wb+1)*gran - 1
+		for bb := 0; bb < Buckets; bb++ {
+			// Worst bitlines of the bucket: the top `sel` columns.
+			colHigh := (bb + 1) * gran
+			cols := make([]int, sel)
+			for i := range cols {
+				cols[i] = colHigh - sel + i
+			}
+			for cb := 0; cb < Buckets; cb++ {
+				content := (cb+1)*gran - 1
+				var op circuit.FastOp
+				switch opts.Content {
+				case WLContent:
+					wl := content
+					if wl > p.N-sel {
+						wl = p.N - sel
+					}
+					op = circuit.FastOp{Row: row, Cols: cols, WLLRS: wl, BLLRS: p.N - 1}
+				case BLContent:
+					bl := content
+					if bl > p.N-1 {
+						bl = p.N - 1
+					}
+					op = circuit.FastOp{Row: row, Cols: cols, WLLRS: p.N - sel, BLLRS: bl}
+				default:
+					return nil, fmt.Errorf("timing: unknown content dimension %d", opts.Content)
+				}
+				res, err := f.Solve(op)
+				if err != nil {
+					return nil, fmt.Errorf("generating bucket (%d,%d,%d): %w", wb, bb, cb, err)
+				}
+				tbl.LatNs[wb][bb][cb] = m.Latency(res.MinVd)
+			}
+		}
+	}
+	return tbl, nil
+}

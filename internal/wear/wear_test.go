@@ -1,0 +1,144 @@
+package wear
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStartGapValidation(t *testing.T) {
+	if _, err := NewStartGap(0, 10); err == nil {
+		t.Fatal("zero segments should fail")
+	}
+	if _, err := NewStartGap(8, 0); err == nil {
+		t.Fatal("zero period should fail")
+	}
+}
+
+func TestStartGapBijective(t *testing.T) {
+	s, err := NewStartGap(37, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across many gap positions, the mapping must stay injective into
+	// 0..n and never hit the gap slot.
+	for step := 0; step < 500; step++ {
+		seen := make(map[int]bool, s.n)
+		for l := 0; l < s.n; l++ {
+			p := s.Phys(l)
+			if p < 0 || p > s.n {
+				t.Fatalf("phys %d out of range", p)
+			}
+			if p == s.gap {
+				t.Fatalf("logical %d mapped onto the gap slot %d", l, p)
+			}
+			if seen[p] {
+				t.Fatalf("collision at physical %d (step %d)", p, step)
+			}
+			seen[p] = true
+		}
+		s.RecordWrite()
+	}
+}
+
+func TestStartGapMovesEveryPeriod(t *testing.T) {
+	s, _ := NewStartGap(8, 5)
+	moves := 0
+	for i := 0; i < 50; i++ {
+		if s.RecordWrite() {
+			moves++
+		}
+	}
+	if moves != 10 {
+		t.Fatalf("moves = %d, want 10", moves)
+	}
+	if s.Moves() != 10 {
+		t.Fatalf("Moves() = %d", s.Moves())
+	}
+}
+
+func TestStartGapRotatesOverFullCycle(t *testing.T) {
+	// After (n+1) gap moves the start advances: segment 0's physical slot
+	// must eventually change, demonstrating wear migration.
+	s, _ := NewStartGap(8, 1)
+	initial := s.Phys(0)
+	changed := false
+	for i := 0; i < (s.n+1)*s.n; i++ {
+		s.RecordWrite()
+		if s.Phys(0) != initial {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("segment 0 never moved")
+	}
+}
+
+func TestStartGapPanicsOutOfRange(t *testing.T) {
+	s, _ := NewStartGap(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Phys(4)
+}
+
+func TestRotateBytesRoundTrip(t *testing.T) {
+	f := func(data [64]byte, off int16) bool {
+		line := data
+		RotateBytes(line[:], int(off))
+		UnrotateBytes(line[:], int(off))
+		return line == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateBytesShifts(t *testing.T) {
+	line := []byte{1, 2, 3, 4}
+	RotateBytes(line, 1)
+	want := []byte{4, 1, 2, 3}
+	for i := range want {
+		if line[i] != want[i] {
+			t.Fatalf("line = %v, want %v", line, want)
+		}
+	}
+}
+
+func TestRotateBytesZeroAndEmpty(t *testing.T) {
+	RotateBytes(nil, 3) // must not panic
+	line := []byte{9, 8}
+	RotateBytes(line, 0)
+	if line[0] != 9 || line[1] != 8 {
+		t.Fatal("zero rotation changed data")
+	}
+}
+
+func TestLifetimeRelativeLeveled(t *testing.T) {
+	m := DefaultLifetime()
+	// +3% writes -> ~97.1% lifetime (paper Section 6.4).
+	got := m.RelativeLeveled(1000, 1030)
+	if math.Abs(got-0.9709) > 0.001 {
+		t.Fatalf("relative lifetime = %v, want ≈0.971", got)
+	}
+	if m.RelativeLeveled(100, 0) != 1 {
+		t.Fatal("zero scheme writes should return 1")
+	}
+}
+
+func TestLifetimeRelativeUnleveled(t *testing.T) {
+	m := DefaultLifetime()
+	if got := m.RelativeUnleveled(500, 1000); got != 0.5 {
+		t.Fatalf("unleveled ratio = %v", got)
+	}
+}
+
+func TestWritesUntilFailure(t *testing.T) {
+	m := LifetimeModel{EnduranceCycles: 100}
+	if got := m.WritesUntilFailure(30); got != 70 {
+		t.Fatalf("remaining = %v", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Package ladder is a full-system simulator for LADDER — the content- and
+// location-aware write architecture for crossbar resistive memories of
+// Chowdhuryy et al. (MICRO 2021) — together with every substrate the
+// paper's evaluation depends on: an MNA-based crossbar circuit model, the
+// RESET write-timing tables, a ReRAM main-memory model, a multi-channel
+// memory controller with LRS-metadata management, trace-driven cores,
+// synthetic SPEC/PARSEC-like workloads, dynamic energy metering and wear
+// leveling.
+//
+// # Quick start
+//
+//	res, err := ladder.Run(ladder.Config{
+//	    Workload: "lbm",
+//	    Scheme:   ladder.SchemeHybrid,
+//	})
+//	fmt.Println(res.Stats.AvgWriteServiceNs())
+//
+// Compare schemes the way the paper's figures do:
+//
+//	grid, err := ladder.RunGrid(ladder.Options{Instr: 200_000},
+//	    ladder.FigureSchemes())
+//	for _, row := range grid.WriteServiceTime() { ... } // Figure 12
+//
+// The heavier machinery (circuit solvers, timing tables, schemes,
+// controller) lives in the internal packages; this package re-exports the
+// surface a downstream user needs. See DESIGN.md for the system map and
+// EXPERIMENTS.md for paper-vs-measured results.
+package ladder
+
+import (
+	"ladder/internal/circuit"
+	"ladder/internal/core"
+	"ladder/internal/reram"
+	"ladder/internal/sim"
+	"ladder/internal/timing"
+	"ladder/internal/trace"
+)
+
+// Re-exported simulation types.
+type (
+	// Config describes one simulation run; the zero value of every field
+	// except Workload selects the paper's defaults.
+	Config = sim.Config
+	// Result carries one run's measurements.
+	Result = sim.Result
+	// Options scopes a multi-run experiment.
+	Options = sim.Options
+	// Grid holds per-(workload, scheme) results with figure derivations.
+	Grid = sim.Grid
+	// Row is one workload's series values.
+	Row = sim.Row
+	// EnergySplit is Figure 17's per-scheme read/write energy breakdown.
+	EnergySplit = sim.EnergySplit
+)
+
+// Scheme names.
+const (
+	SchemeBaseline   = sim.SchemeBaseline
+	SchemeLocAware   = sim.SchemeLocAware
+	SchemeOracle     = sim.SchemeOracle
+	SchemeSplitReset = sim.SchemeSplitReset
+	SchemeBLP        = sim.SchemeBLP
+	SchemeBasic      = sim.SchemeBasic
+	SchemeEst        = sim.SchemeEst
+	SchemeEstNoShift = sim.SchemeEstNoShift
+	SchemeHybrid     = sim.SchemeHybrid
+)
+
+// Run executes one simulation (see sim.Run).
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// RunGrid simulates every workload under every scheme.
+func RunGrid(opts Options, schemes []string) (*Grid, error) { return sim.RunGrid(opts, schemes) }
+
+// Average appends an AVG row across workloads.
+func Average(rows []Row) Row { return sim.Average(rows) }
+
+// SchemeNames lists every supported scheme.
+func SchemeNames() []string { return sim.SchemeNames() }
+
+// FigureSchemes lists the schemes Figures 12/13/16 compare.
+func FigureSchemes() []string { return sim.FigureSchemes() }
+
+// Workloads lists all sixteen evaluation workloads (Table 3).
+func Workloads() []string { return trace.AllWorkloads() }
+
+// SingleWorkloads lists the eight single-programmed workloads.
+func SingleWorkloads() []string { return append([]string(nil), trace.SingleWorkloads...) }
+
+// RangeAblation runs the Section 7 dynamic-range study.
+func RangeAblation(opts Options, scheme string, factor float64) ([]Row, error) {
+	return sim.RangeAblation(opts, scheme, factor)
+}
+
+// WearLevelingImpact runs the Section 6.4 wear-leveling study.
+func WearLevelingImpact(opts Options, scheme string) ([]Row, error) {
+	return sim.WearLevelingImpact(opts, scheme)
+}
+
+// CrashRecoveryStudy runs the Section 7 crash-consistency scenario.
+func CrashRecoveryStudy(opts Options, scheme string) ([]Row, error) {
+	return sim.CrashRecoveryStudy(opts, scheme)
+}
+
+// VWLModeComparison contrasts segment- and line-based wear leveling
+// (Section 6.4's metadata-locality argument).
+func VWLModeComparison(opts Options, scheme string) ([]Row, error) {
+	return sim.VWLModeComparison(opts, scheme)
+}
+
+// CacheSizeSweep ablates the LRS-metadata cache size (Section 6.3's
+// "<2% gain beyond 64 KB" observation). Pass nil for the default sizes.
+func CacheSizeSweep(opts Options, scheme string, sizesKB []int) ([]Row, error) {
+	return sim.CacheSizeSweep(opts, scheme, sizesKB)
+}
+
+// LowPrecisionSweep ablates LADDER-Hybrid's precision control register.
+// Pass nil for the default row counts.
+func LowPrecisionSweep(opts Options, rows []int) ([]Row, error) {
+	return sim.LowPrecisionSweep(opts, rows)
+}
+
+// Timing-model surface.
+type (
+	// TableSet bundles the calibrated write-timing tables.
+	TableSet = timing.TableSet
+	// CrossbarParams are the circuit-level crossbar parameters (Table 1).
+	CrossbarParams = circuit.Params
+)
+
+// DefaultCrossbarParams returns the paper's Table 1 crossbar.
+func DefaultCrossbarParams() CrossbarParams { return circuit.DefaultParams() }
+
+// DefaultTables returns the timing tables for the default crossbar,
+// generated once per process (the generation sweeps the circuit model).
+func DefaultTables() (*TableSet, error) { return timing.DefaultTableSet() }
+
+// NewTables calibrates and generates timing tables for a custom crossbar.
+func NewTables(p CrossbarParams) (*TableSet, error) { return timing.NewTableSet(p) }
+
+// DefaultGeometry returns the paper's 16 GB memory organization.
+func DefaultGeometry() reram.Geometry { return reram.DefaultGeometry() }
+
+// MetadataOverheads reports the metadata storage cost of the three LADDER
+// layouts as fractions of data capacity (Section 6.3).
+func MetadataOverheads() (basic, est, hybrid float64) {
+	l := core.NewLayout(reram.DefaultGeometry())
+	return l.StorageOverheadBasic(), l.StorageOverheadEst(), l.StorageOverheadHybrid()
+}
+
+// ControllerOverheads reports the paper's Table 4 synthesis results for
+// the LADDER controller logic (carried constants; see DESIGN.md).
+func ControllerOverheads() []core.ModuleOverhead {
+	return append([]core.ModuleOverhead(nil), core.Table4...)
+}
