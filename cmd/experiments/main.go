@@ -25,9 +25,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig2 fig4 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table4 storage lifetime ablation wear vwlmode crash cachesize lowrows fnw all")
-		instr = flag.Uint64("instr", 150_000, "instructions per core per run")
-		seed  = flag.Int64("seed", 42, "simulation seed")
+		exp    = flag.String("exp", "all", "experiment: fig2 fig4 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table4 storage lifetime ablation wear vwlmode crash cachesize lowrows fnw all")
+		instr  = flag.Uint64("instr", 150_000, "instructions per core per run")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		report = flag.String("report", "", "write a structured JSON grid report (per-cell summaries + merged metrics) to this file")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 	if needGrid {
 		schemes := ladder.FigureSchemes()
 		grid := mustGrid(opts, schemes)
+		mainFigureGrid = grid
 		if want("fig12") {
 			printRows("Figure 12 — normalized average write service time", grid.WriteServiceTime(), schemes)
 		}
@@ -146,7 +148,36 @@ func main() {
 		printRows("Section 4.2 — Hybrid precision-register ablation (avg write service ns)",
 			rows, []string{"rows=0 svc", "rows=64 svc", "rows=128 svc", "rows=256 svc", "rows=512 svc"})
 	}
+
+	if *report != "" {
+		if mainFigureGrid != nil {
+			reportGrid = mainFigureGrid
+		}
+		if reportGrid == nil {
+			fail(fmt.Errorf("-report needs a grid experiment (fig2/fig12..fig17/fig15/lifetime/fnw or all)"))
+		}
+		gr, err := ladder.NewGridReport(reportGrid)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			fail(err)
+		}
+		if err := gr.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\ngrid report written to %s\n", *report)
+	}
 }
+
+// reportGrid is the grid -report serializes: the main figure grid when
+// it runs (mainFigureGrid), otherwise the last grid any experiment built.
+var reportGrid, mainFigureGrid *ladder.Grid
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -158,6 +189,7 @@ func mustGrid(opts ladder.Options, schemes []string) *ladder.Grid {
 	if err != nil {
 		fail(err)
 	}
+	reportGrid = grid
 	return grid
 }
 

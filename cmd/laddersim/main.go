@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,6 +27,9 @@ func main() {
 		verify   = flag.Bool("verify", false, "verify end-of-run read-back correctness")
 		traceIn  = flag.String("trace", "", "replay a recorded trace (see tracegen) instead of synthesizing")
 		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
+		showMet  = flag.Bool("metrics", false, "print the full metrics dump after the summary")
+		report   = flag.String("report", "", "write a structured JSON run report to this file (see docs/METRICS.md)")
+		bench    = flag.String("bench", "", "write a BENCH-compatible perf snapshot (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -82,4 +86,42 @@ func main() {
 	if *verify {
 		fmt.Println("verification        PASS (all written lines decode to their logical content)")
 	}
+
+	rep := ladder.NewReport(res)
+	rl := rep.ResetLatency
+	fmt.Printf("RESET latency       n=%d mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f ns\n",
+		rl.Count, rl.MeanNs, rl.P50Ns, rl.P95Ns, rl.P99Ns, rl.MaxNs)
+	fmt.Printf("wall clock          %.1f ms\n", rep.WallClockMS)
+	if *showMet {
+		fmt.Println("\nmetrics (see docs/METRICS.md)")
+		fmt.Print(rep.Metrics.Text())
+	}
+	if *report != "" {
+		if err := writeJSONFile(*report, rep.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written      %s\n", *report)
+	}
+	if *bench != "" {
+		doc := rep.Bench(fmt.Sprintf("laddersim-%s-%s", res.Workload, res.Scheme))
+		if err := writeJSONFile(*bench, doc.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench written       %s\n", *bench)
+	}
+}
+
+// writeJSONFile streams one of the report writers into a file.
+func writeJSONFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"ladder/internal/bits"
+	"ladder/internal/metrics"
 )
 
 // ladderBase carries the machinery shared by the three LADDER variants:
@@ -17,6 +18,13 @@ type ladderBase struct {
 	// FIFO order (paper: 16-entry spill buffer, drained when the
 	// scheduler switches modes).
 	spill []*WriteRequest
+	// Estimator-accuracy instruments (nil when the run is not
+	// instrumented): whether the scheme's C^w_lrs at dispatch over-,
+	// under- or exactly predicted the accurate counter. Over-predictions
+	// cost latency margin; under-predictions would risk an incomplete
+	// RESET on real hardware and measure the shifted-layout effect the
+	// paper discusses around Figure 15b.
+	mOverPredict, mUnderPredict, mExactPredict *metrics.Counter
 }
 
 func newLadderBase(env *Env, cacheCfg MetaCacheConfig) (*ladderBase, error) {
@@ -29,6 +37,10 @@ func newLadderBase(env *Env, cacheCfg MetaCacheConfig) (*ladderBase, error) {
 		layout:  NewLayout(env.Geom),
 		cache:   cache,
 		waiting: make(map[uint64][]*WriteRequest),
+		// A nil env.Metrics hands out nil counters, whose Inc() no-ops.
+		mOverPredict:  env.Metrics.Counter("core.est.over_predictions"),
+		mUnderPredict: env.Metrics.Counter("core.est.under_predictions"),
+		mExactPredict: env.Metrics.Counter("core.est.exact_predictions"),
 	}, nil
 }
 
@@ -213,4 +225,12 @@ func (b *ladderBase) recordCounterDiff(req *WriteRequest, estimated int, shifted
 	}
 	b.env.Stats.CounterDiffSum += float64(estimated - accurate)
 	b.env.Stats.CounterDiffN++
+	switch {
+	case estimated > accurate:
+		b.mOverPredict.Inc()
+	case estimated < accurate:
+		b.mUnderPredict.Inc()
+	default:
+		b.mExactPredict.Inc()
+	}
 }

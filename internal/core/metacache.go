@@ -66,6 +66,9 @@ type MetaCache struct {
 	// init synthesizes first-touch metadata lines; the host initializes
 	// the LRS-metadata region consistently with memory content at boot.
 	init func(key uint64) MetaLine
+	// evictions counts valid lines displaced by Reserve (dirty or clean);
+	// exported into the run metrics as core.meta_cache.evictions.
+	evictions uint64
 }
 
 // SetInitializer installs the boot-time metadata synthesizer.
@@ -154,10 +157,13 @@ func (c *MetaCache) Reserve(key uint64, loc reram.Location) (wb *MetaWriteback, 
 	if victim == nil {
 		return nil, false
 	}
-	if victim.state != entryInvalid && victim.dirty {
-		// Persist the evicted content and charge a metadata write.
-		c.backing[victim.key] = victim.data
-		wb = &MetaWriteback{Key: victim.key, Loc: victim.loc}
+	if victim.state != entryInvalid {
+		c.evictions++
+		if victim.dirty {
+			// Persist the evicted content and charge a metadata write.
+			c.backing[victim.key] = victim.data
+			wb = &MetaWriteback{Key: victim.key, Loc: victim.loc}
+		}
 	}
 	c.tick++
 	*victim = metaEntry{key: key, state: entryFilling, sharers: 1, lastUse: c.tick, loc: loc}
@@ -196,6 +202,10 @@ func (c *MetaCache) MarkDirty(key uint64) {
 		e.dirty = true
 	}
 }
+
+// Evictions returns how many valid lines Reserve has displaced (dirty
+// and clean alike; dirty ones additionally produced writebacks).
+func (c *MetaCache) Evictions() uint64 { return c.evictions }
 
 // Sharers returns the sharer count (testing/diagnostics).
 func (c *MetaCache) Sharers(key uint64) int {

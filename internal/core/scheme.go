@@ -10,10 +10,16 @@
 // controller calls Enqueue when a data write enters the write queue,
 // delivers auxiliary read completions, asks Ready/Latency at dispatch, and
 // calls Complete when the device finishes.
+//
+// Schemes share an Env — geometry, content store, timing tables, the
+// Stats accumulator, and an optional metrics.Registry through which the
+// estimator and metadata cache publish their accuracy and hit-rate
+// instruments (Sections 4.1/4.3; catalog in docs/METRICS.md).
 package core
 
 import (
 	"ladder/internal/bits"
+	"ladder/internal/metrics"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
 )
@@ -91,6 +97,10 @@ type Env struct {
 	Store  *reram.Store
 	Tables *timing.TableSet
 	Stats  *Stats
+	// Metrics is the run's instrument registry (see docs/METRICS.md).
+	// May be nil: layers fetch nil instruments, whose observation methods
+	// no-op, so un-instrumented embeddings pay one branch per event.
+	Metrics *metrics.Registry
 }
 
 // Scheme is the per-write-policy the memory controller drives.

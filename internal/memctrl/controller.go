@@ -4,6 +4,11 @@
 // timing, and the device-side datapath (Flip-N-Write bridge). It drives a
 // core.Scheme to obtain per-write RESET latencies and to maintain the
 // LRS-metadata machinery.
+//
+// A controller optionally attaches to a metrics.Registry (Instrument):
+// queue-occupancy gauges, drain-mode counters, and a per-RESET latency
+// histogram attributed to timing-table cells — the observable form of the
+// paper's Figure 11 latency surface. See docs/METRICS.md for the catalog.
 package memctrl
 
 import (
@@ -14,7 +19,9 @@ import (
 	"ladder/internal/bits"
 	"ladder/internal/core"
 	"ladder/internal/energy"
+	"ladder/internal/metrics"
 	"ladder/internal/reram"
+	"ladder/internal/timing"
 )
 
 // TicksPerNs is the simulation resolution: 4 ticks per nanosecond, i.e.
@@ -128,6 +135,46 @@ type Controller struct {
 	remap func(reram.Location) reram.Location
 
 	banksPerRank int
+
+	// Observability instruments (nil until Instrument is called; every
+	// observation method is nil-safe). See docs/METRICS.md for the
+	// catalog.
+	instrumented bool
+	mRDQOcc      *metrics.Gauge     // sampled read-queue occupancy
+	mWRQOcc      *metrics.Gauge     // sampled write-queue occupancy
+	mDrains      *metrics.Counter   // write-drain-mode entries
+	mResetHist   *metrics.Histogram // per-data-RESET latency (ns)
+	mResetCells  *metrics.Grid      // RESETs per timing-table (WL,BL) cell
+	mMetaIssued  *metrics.Counter   // metadata/maintenance writes issued
+}
+
+// occupancySampleMask thins queue-occupancy sampling to one observation
+// every 256 ticks (64 ns): dense enough to catch drain episodes, cheap
+// enough to leave the per-tick cost unmeasurable.
+const occupancySampleMask = 255
+
+// ResetLatencyBounds returns the bucket upper edges for RESET-latency
+// histograms: 32 ns resolution across the paper's 29–658 ns tWR window
+// (Section 2; Figure 7 plots this distribution), plus an overflow bucket
+// for shrunk-range or custom-crossbar runs that exceed it.
+func ResetLatencyBounds() []float64 { return metrics.LinearBounds(32, 32, 21) }
+
+// Instrument attaches the controller to a run's metric registry as
+// channel `channel`, creating its per-channel instruments. Call once,
+// before the first Tick; a controller never instrumented records
+// nothing.
+func (c *Controller) Instrument(reg *metrics.Registry, channel int) {
+	if reg == nil {
+		return
+	}
+	p := fmt.Sprintf("memctrl.ch%d.", channel)
+	c.instrumented = true
+	c.mRDQOcc = reg.Gauge(p + "rdq_occupancy")
+	c.mWRQOcc = reg.Gauge(p + "wrq_occupancy")
+	c.mDrains = reg.Counter(p + "drain_entries")
+	c.mResetHist = reg.Histogram(p+"reset_latency_ns", ResetLatencyBounds())
+	c.mResetCells = reg.Grid(p+"reset_table_cells", timing.Buckets, timing.Buckets)
+	c.mMetaIssued = reg.Counter(p + "meta_writes_issued")
 }
 
 // SetRemap installs a location remapping applied to decoded data
@@ -276,6 +323,10 @@ func (c *Controller) routeWritebacks(wbs []core.MetaWriteback, now uint64) {
 // Tick advances the controller one tick: completions, watermark
 // management, queue drains, and issue.
 func (c *Controller) Tick(now uint64) {
+	if c.instrumented && now&occupancySampleMask == 0 {
+		c.mRDQOcc.Observe(float64(len(c.rdq)))
+		c.mWRQOcc.Observe(float64(len(c.wrq)))
+	}
 	c.completeFinished(now)
 	c.updateMode(now)
 	c.drainPending()
@@ -371,6 +422,7 @@ func (c *Controller) updateMode(now uint64) {
 	high := int(math.Ceil(c.cfg.WriteHighFrac * float64(c.cfg.WRQSize)))
 	if !c.writeMode && len(c.wrq) >= high {
 		c.writeMode = true
+		c.mDrains.Inc()
 		c.retrySpill(now)
 	} else if c.writeMode && len(c.wrq) <= c.cfg.WriteLowEntries {
 		c.writeMode = false
@@ -452,8 +504,17 @@ func (c *Controller) issueWrites(now uint64) {
 			// Metadata blocks have no tracked counters; their writes use
 			// the location-dependent worst-content latency (Section 3.3).
 			latNs = c.env.Tables.WL.LocationOnly(req.Loc.WL, req.Loc.BLHigh)
+			c.mMetaIssued.Inc()
 		} else {
 			latNs = c.scheme.Latency(req)
+			// Attribute the RESET to its latency bucket and timing-table
+			// cell. Metadata writes are excluded so the histogram matches
+			// the paper's data-write latency distribution (Figure 7).
+			c.mResetHist.Observe(latNs)
+			if c.instrumented {
+				t := c.env.Tables.WL
+				c.mResetCells.Inc(t.BucketOf(req.Loc.WL), t.BucketOf(req.Loc.BLHigh))
+			}
 		}
 		dur := uint64(c.cfg.TRCD+c.cfg.TBurst) + uint64(math.Ceil(latNs*TicksPerNs))
 		req.DispatchCycle = now

@@ -1,0 +1,365 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is a per-run collection of named instruments. Get-or-create
+// accessors are mutex-protected so setup can happen from any goroutine;
+// the instruments themselves are lock-free and must each be observed
+// from a single goroutine (one simulation run is single-threaded, and
+// RunGrid gives every run its own Registry, merging afterwards).
+//
+// Naming convention: dot-separated "layer.subject.metric" with the unit
+// as the final suffix where one applies, e.g.
+// "memctrl.ch0.reset_latency_ns". docs/METRICS.md catalogs every name
+// the simulator emits.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	grids      map[string]*Grid
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		grids:      make(map[string]*Grid),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns nil (and nil instruments no-op), so un-instrumented
+// layers need no branches beyond the ones already in the instrument
+// methods.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use; later calls return the existing instrument and
+// ignore bounds (first creation wins). Invalid bounds on first creation
+// panic — bucket layouts are compile-time decisions, not data.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		var err error
+		h, err = NewHistogram(bounds)
+		if err != nil {
+			panic(fmt.Sprintf("metrics: histogram %q: %v", name, err))
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Grid returns the named rows×cols grid, creating it on first use;
+// later calls return the existing instrument and ignore the shape.
+// Invalid shapes on first creation panic.
+func (r *Registry) Grid(name string, rows, cols int) *Grid {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.grids[name]
+	if !ok {
+		var err error
+		g, err = NewGrid(rows, cols)
+		if err != nil {
+			panic(fmt.Sprintf("metrics: grid %q: %v", name, err))
+		}
+		r.grids[name] = g
+	}
+	return g
+}
+
+// SetCounter overwrites the named counter with an absolute value —
+// end-of-run exports of quantities another layer already accumulated
+// (store write totals, retired instructions).
+func (r *Registry) SetCounter(name string, v uint64) {
+	if c := r.Counter(name); c != nil {
+		c.v = v
+	}
+}
+
+// Merge folds another registry into this one: counters add, gauges
+// combine their sample moments, histograms and grids add element-wise.
+// Shape mismatches (same name, different bounds) abort with an error;
+// the receiver may then hold a partial merge.
+func (r *Registry) Merge(o *Registry) error {
+	if r == nil || o == nil {
+		return fmt.Errorf("metrics: cannot merge nil registry")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for name, c := range o.counters {
+		mine, ok := r.counters[name]
+		if !ok {
+			mine = &Counter{}
+			r.counters[name] = mine
+		}
+		mine.merge(c)
+	}
+	for name, g := range o.gauges {
+		mine, ok := r.gauges[name]
+		if !ok {
+			mine = &Gauge{}
+			r.gauges[name] = mine
+		}
+		mine.merge(g)
+	}
+	for name, h := range o.histograms {
+		mine, ok := r.histograms[name]
+		if !ok {
+			var err error
+			mine, err = NewHistogram(h.bounds)
+			if err != nil {
+				return fmt.Errorf("metrics: merging histogram %q: %w", name, err)
+			}
+			r.histograms[name] = mine
+		}
+		if err := mine.Merge(h); err != nil {
+			return fmt.Errorf("metrics: merging histogram %q: %w", name, err)
+		}
+	}
+	for name, g := range o.grids {
+		mine, ok := r.grids[name]
+		if !ok {
+			var err error
+			mine, err = NewGrid(g.rows, g.cols)
+			if err != nil {
+				return fmt.Errorf("metrics: merging grid %q: %w", name, err)
+			}
+			r.grids[name] = mine
+		}
+		if err := mine.Merge(g); err != nil {
+			return fmt.Errorf("metrics: merging grid %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Snapshot freezes every instrument into the serializable form embedded
+// in run reports. A nil registry snapshots as empty (never nil maps), so
+// reports marshal uniformly.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]GaugeSnapshot{},
+		Histograms: map[string]HistogramSnapshot{},
+		Grids:      map[string]GridSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		gs := GaugeSnapshot{Samples: g.n}
+		if g.n > 0 {
+			gs.Last, gs.Min, gs.Max = g.last, g.min, g.max
+			gs.Mean = g.sum / float64(g.n)
+		}
+		s.Gauges[name] = gs
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	for name, g := range r.grids {
+		s.Grids[name] = g.Snapshot()
+	}
+	return s
+}
+
+// Snapshot is the serializable view of a Registry, embedded in run
+// reports (JSON field names are the stable schema; see docs/METRICS.md).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Grids      map[string]GridSnapshot      `json:"grids"`
+}
+
+// GaugeSnapshot is a frozen Gauge: the sample moments of an instantaneous
+// quantity.
+type GaugeSnapshot struct {
+	Last    float64 `json:"last"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+	Samples uint64  `json:"samples"`
+}
+
+// HistogramSnapshot is a frozen Histogram: bucket bounds and counts plus
+// the derived summary statistics. Counts has len(Bounds)+1 entries; the
+// final entry is the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+}
+
+// Quantile computes the p-quantile from the frozen buckets: nearest
+// rank, linear interpolation inside the containing bucket, clamped to
+// the observed min/max. Empty snapshots return 0.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := quantileRank(p, s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		lo := s.Min
+		if i > 0 && s.Bounds[i-1] > lo {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Bounds) && s.Bounds[i] < hi {
+			hi = s.Bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// Position of the rank inside this bucket, in (0, 1].
+		frac := float64(rank-(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Max
+}
+
+// NonzeroBuckets counts buckets holding at least one observation.
+func (s HistogramSnapshot) NonzeroBuckets() int {
+	n := 0
+	for _, c := range s.Counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge adds another snapshot with identical bounds into this one and
+// recomputes the derived statistics — used to combine per-channel
+// histograms into a system-wide view at report time.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if o.Count == 0 {
+		return s, nil
+	}
+	if s.Count == 0 {
+		return o, nil
+	}
+	if len(s.Bounds) != len(o.Bounds) {
+		return s, fmt.Errorf("metrics: merging snapshots with %d vs %d bounds", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return s, fmt.Errorf("metrics: merging snapshots with mismatched bound %d", i)
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: append([]uint64(nil), s.Counts...),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Min:    s.Min,
+		Max:    s.Max,
+	}
+	for i := range out.Counts {
+		out.Counts[i] += o.Counts[i]
+	}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	out.Mean = out.Sum / float64(out.Count)
+	out.P50 = out.Quantile(0.50)
+	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
+	return out, nil
+}
+
+// GridSnapshot is a frozen Grid.
+type GridSnapshot struct {
+	Rows   int        `json:"rows"`
+	Cols   int        `json:"cols"`
+	Counts [][]uint64 `json:"counts"`
+}
+
+// SortedNames returns the union of all instrument names in the snapshot,
+// sorted — the stable iteration order for text rendering.
+func (s Snapshot) SortedNames() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Grids))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	for n := range s.Grids {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

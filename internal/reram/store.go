@@ -38,6 +38,10 @@ type Store struct {
 	cols map[uint64]*colState
 	// totalWrites counts all block writes for wear statistics.
 	totalWrites uint64
+	// bankWrites counts block writes per bank (dense index as in
+	// Geometry.GlobalRow: ((channel*ranks)+rank)*banks + bank), feeding
+	// the per-bank wear view of the run report.
+	bankWrites []uint64
 	// residentLevel/residentSeed configure synthetic resident data
 	// (SetResident); level 0 means a fresh all-HRS device.
 	residentLevel int
@@ -52,7 +56,12 @@ func NewStore(g Geometry) (*Store, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	return &Store{geom: g, rows: make(map[uint64]*rowState), cols: make(map[uint64]*colState)}, nil
+	return &Store{
+		geom:       g,
+		rows:       make(map[uint64]*rowState),
+		cols:       make(map[uint64]*colState),
+		bankWrites: make([]uint64, g.Banks()),
+	}, nil
 }
 
 // SetResident enables synthetic resident data: when a wordline group is
@@ -247,6 +256,7 @@ func (s *Store) Write(line uint64, data bits.Line) (old bits.Line, err error) {
 	r.data[loc.Slot] = data
 	r.writes++
 	s.totalWrites++
+	s.bankWrites[(loc.Channel*s.geom.RanksPerChannel+loc.Rank)*s.geom.BanksPerRank+loc.Bank]++
 	return old, nil
 }
 
@@ -372,6 +382,11 @@ func (s *Store) RowWrites(line uint64) (uint64, error) {
 
 // TotalWrites returns the total number of block writes served.
 func (s *Store) TotalWrites() uint64 { return s.totalWrites }
+
+// BankWrites returns a copy of the per-bank block-write counts, indexed
+// densely as ((channel*ranks)+rank)*banks + bank. The run report exports
+// these as the per-bank wear distribution.
+func (s *Store) BankWrites() []uint64 { return append([]uint64(nil), s.bankWrites...) }
 
 // TouchedRows returns the number of allocated (written) wordline groups.
 func (s *Store) TouchedRows() int { return len(s.rows) }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -74,9 +75,9 @@ func RunGrid(opts Options, schemes []string) (*Grid, error) {
 		}
 	}
 	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		mu      sync.Mutex
+		runErrs []error
+		wg      sync.WaitGroup
 	)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for _, c := range cells {
@@ -88,17 +89,18 @@ func RunGrid(opts Options, schemes []string) (*Grid, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("running %s/%s: %w", c.w, c.s, err)
-				}
+				// Collect every cell's failure (cells are independent, so
+				// one bad workload name should not mask another's error);
+				// errors.Join reports them all.
+				runErrs = append(runErrs, fmt.Errorf("running %s/%s: %w", c.w, c.s, err))
 				return
 			}
 			g.Results[c.w][c.s] = res
 		}(c)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := errors.Join(runErrs...); err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ladder/internal/metrics"
+)
+
+// ReportSchema versions the run-report JSON layout. Consumers should
+// reject reports whose schema string they do not recognize.
+const ReportSchema = "ladder.run-report/v1"
+
+// BenchSchema versions the perf-snapshot (BENCH_*.json) layout.
+const BenchSchema = "ladder.bench/v1"
+
+// GridReportSchema versions the multi-run grid-report layout.
+const GridReportSchema = "ladder.grid-report/v1"
+
+// resetLatencySuffix is the per-channel RESET histogram name suffix; the
+// full names are "memctrl.ch<N>.reset_latency_ns" (docs/METRICS.md).
+const resetLatencySuffix = ".reset_latency_ns"
+
+// ResetLatencySummary condenses the system-wide RESET-latency
+// distribution (all channels merged): the content/location spread the
+// paper's Figure 11 surface predicts, as observed during the run.
+type ResetLatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P95Ns  float64 `json:"p95_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	MaxNs  float64 `json:"max_ns"`
+}
+
+// Report is the structured, serializable record of one simulation run:
+// identity, headline summary numbers, and the full metrics snapshot.
+// WriteJSON emits the stable machine-readable form (schema
+// "ladder.run-report/v1"); WriteText renders the same data for humans.
+type Report struct {
+	Schema   string `json:"schema"`
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+
+	InstructionsRetired uint64  `json:"instructions_retired"`
+	Ticks               uint64  `json:"ticks"`
+	AvgIPC              float64 `json:"avg_ipc"`
+	WallClockMS         float64 `json:"wall_clock_ms"`
+
+	DataReads  uint64 `json:"data_reads"`
+	DataWrites uint64 `json:"data_writes"`
+	MetaReads  uint64 `json:"meta_reads"`
+	MetaWrites uint64 `json:"meta_writes"`
+
+	AvgWriteServiceNs float64 `json:"avg_write_service_ns"`
+	AvgReadLatencyNs  float64 `json:"avg_read_latency_ns"`
+	ReadNJ            float64 `json:"read_nj"`
+	WriteNJ           float64 `json:"write_nj"`
+	GapMoves          uint64  `json:"gap_moves"`
+
+	// ResetLatency merges the per-channel RESET histograms into the
+	// system-wide latency distribution.
+	ResetLatency ResetLatencySummary `json:"reset_latency"`
+
+	// Metrics is the full instrument snapshot (every name cataloged in
+	// docs/METRICS.md).
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// NewReport freezes a Result into its report form.
+func NewReport(res *Result) *Report {
+	snap := res.Metrics.Snapshot()
+	r := &Report{
+		Schema:              ReportSchema,
+		Workload:            res.Workload,
+		Scheme:              res.Scheme,
+		InstructionsRetired: res.InstructionsRetired,
+		Ticks:               res.Ticks,
+		AvgIPC:              res.AvgIPC(),
+		WallClockMS:         float64(res.WallClock.Microseconds()) / 1e3,
+		DataReads:           res.Stats.DataReads,
+		DataWrites:          res.Stats.DataWrites,
+		MetaReads:           res.Stats.MetaReads,
+		MetaWrites:          res.Stats.MetaWrites,
+		AvgWriteServiceNs:   res.Stats.AvgWriteServiceNs(),
+		AvgReadLatencyNs:    res.Stats.AvgReadLatencyNs(),
+		ReadNJ:              res.ReadNJ,
+		WriteNJ:             res.WriteNJ,
+		GapMoves:            res.GapMoves,
+		Metrics:             snap,
+	}
+	r.ResetLatency = summarizeResetLatency(snap)
+	return r
+}
+
+// summarizeResetLatency merges every per-channel RESET histogram in the
+// snapshot. All channels share ResetLatencyBounds(), so the merge cannot
+// fail on bounds; a foreign snapshot with mismatched bounds yields the
+// partial merge accumulated so far.
+func summarizeResetLatency(snap metrics.Snapshot) ResetLatencySummary {
+	var merged metrics.HistogramSnapshot
+	for name, h := range snap.Histograms {
+		if !strings.HasPrefix(name, "memctrl.") || !strings.HasSuffix(name, resetLatencySuffix) {
+			continue
+		}
+		if m, err := merged.Merge(h); err == nil {
+			merged = m
+		}
+	}
+	return ResetLatencySummary{
+		Count:  merged.Count,
+		MeanNs: merged.Mean,
+		P50Ns:  merged.P50,
+		P95Ns:  merged.P95,
+		P99Ns:  merged.P99,
+		MaxNs:  merged.Max,
+	}
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the report for humans: the headline summary followed
+// by every instrument in sorted-name order.
+func (r *Report) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run report (%s)\n", r.Schema)
+	fmt.Fprintf(&b, "  workload %s  scheme %s\n", r.Workload, r.Scheme)
+	fmt.Fprintf(&b, "  retired %d instr in %d ticks (IPC %.4f), wall clock %.1f ms\n",
+		r.InstructionsRetired, r.Ticks, r.AvgIPC, r.WallClockMS)
+	fmt.Fprintf(&b, "  traffic: %d data reads, %d data writes, %d meta reads, %d meta writes\n",
+		r.DataReads, r.DataWrites, r.MetaReads, r.MetaWrites)
+	fmt.Fprintf(&b, "  write service %.1f ns avg, read latency %.1f ns avg\n",
+		r.AvgWriteServiceNs, r.AvgReadLatencyNs)
+	rl := r.ResetLatency
+	fmt.Fprintf(&b, "  RESET latency (all channels, %d RESETs): mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f ns\n",
+		rl.Count, rl.MeanNs, rl.P50Ns, rl.P95Ns, rl.P99Ns, rl.MaxNs)
+	b.WriteString(r.Metrics.Text())
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PerfSnapshot flattens the report into the name→value map stored in
+// BENCH_*.json files: the numbers future performance PRs are compared
+// against. Keys are stable; additions are fine, renames are not.
+func (r *Report) PerfSnapshot() map[string]float64 {
+	m := map[string]float64{
+		"avg_ipc":              r.AvgIPC,
+		"instructions_retired": float64(r.InstructionsRetired),
+		"ticks":                float64(r.Ticks),
+		"wall_clock_ms":        r.WallClockMS,
+		"avg_write_service_ns": r.AvgWriteServiceNs,
+		"avg_read_latency_ns":  r.AvgReadLatencyNs,
+		"reset_latency_p50_ns": r.ResetLatency.P50Ns,
+		"reset_latency_p95_ns": r.ResetLatency.P95Ns,
+		"reset_latency_p99_ns": r.ResetLatency.P99Ns,
+		"reset_latency_max_ns": r.ResetLatency.MaxNs,
+	}
+	if r.WallClockMS > 0 {
+		m["instr_per_sec"] = float64(r.InstructionsRetired) / (r.WallClockMS / 1e3)
+	}
+	return m
+}
+
+// BenchReport is the BENCH_*.json document: a named perf snapshot.
+type BenchReport struct {
+	Schema   string             `json:"schema"`
+	Name     string             `json:"name"`
+	Workload string             `json:"workload"`
+	Scheme   string             `json:"scheme"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+// Bench derives the BENCH_*.json document from the report.
+func (r *Report) Bench(name string) *BenchReport {
+	return &BenchReport{
+		Schema:   BenchSchema,
+		Name:     name,
+		Workload: r.Workload,
+		Scheme:   r.Scheme,
+		Metrics:  r.PerfSnapshot(),
+	}
+}
+
+// WriteJSON emits the bench document as indented JSON.
+func (b *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// GridCell is one (workload, scheme) run's headline numbers inside a
+// GridReport; the full per-run instrument snapshots are merged into the
+// grid-level Metrics rather than repeated per cell.
+type GridCell struct {
+	Workload            string              `json:"workload"`
+	Scheme              string              `json:"scheme"`
+	AvgIPC              float64             `json:"avg_ipc"`
+	InstructionsRetired uint64              `json:"instructions_retired"`
+	WallClockMS         float64             `json:"wall_clock_ms"`
+	AvgWriteServiceNs   float64             `json:"avg_write_service_ns"`
+	AvgReadLatencyNs    float64             `json:"avg_read_latency_ns"`
+	ResetLatency        ResetLatencySummary `json:"reset_latency"`
+}
+
+// GridReport serializes a whole experiment grid: per-cell summaries plus
+// the metrics union (counters add, histograms add bucket-wise) across
+// every run.
+type GridReport struct {
+	Schema    string           `json:"schema"`
+	Workloads []string         `json:"workloads"`
+	Schemes   []string         `json:"schemes"`
+	Cells     []GridCell       `json:"cells"`
+	Metrics   metrics.Snapshot `json:"metrics"`
+}
+
+// MergedMetrics folds every cell's registry into one snapshot. All cells
+// use identical instrument shapes, so the merge only fails on a grid
+// whose results were built outside Run.
+func (g *Grid) MergedMetrics() (metrics.Snapshot, error) {
+	agg := metrics.NewRegistry()
+	for _, w := range g.Workloads {
+		for _, s := range g.Schemes {
+			res := g.Results[w][s]
+			if res == nil || res.Metrics == nil {
+				continue
+			}
+			if err := agg.Merge(res.Metrics); err != nil {
+				return metrics.Snapshot{}, fmt.Errorf("sim: merging %s/%s metrics: %w", w, s, err)
+			}
+		}
+	}
+	return agg.Snapshot(), nil
+}
+
+// NewGridReport freezes an experiment grid into its report form. Cells
+// are ordered workload-major, scheme-minor, matching the grid's own
+// iteration order.
+func NewGridReport(g *Grid) (*GridReport, error) {
+	merged, err := g.MergedMetrics()
+	if err != nil {
+		return nil, err
+	}
+	gr := &GridReport{
+		Schema:    GridReportSchema,
+		Workloads: append([]string(nil), g.Workloads...),
+		Schemes:   append([]string(nil), g.Schemes...),
+		Metrics:   merged,
+	}
+	for _, w := range g.Workloads {
+		for _, s := range g.Schemes {
+			res := g.Results[w][s]
+			if res == nil {
+				continue
+			}
+			snap := res.Metrics.Snapshot()
+			gr.Cells = append(gr.Cells, GridCell{
+				Workload:            w,
+				Scheme:              s,
+				AvgIPC:              res.AvgIPC(),
+				InstructionsRetired: res.InstructionsRetired,
+				WallClockMS:         float64(res.WallClock.Microseconds()) / 1e3,
+				AvgWriteServiceNs:   res.Stats.AvgWriteServiceNs(),
+				AvgReadLatencyNs:    res.Stats.AvgReadLatencyNs(),
+				ResetLatency:        summarizeResetLatency(snap),
+			})
+		}
+	}
+	return gr, nil
+}
+
+// WriteJSON emits the grid report as indented JSON.
+func (g *GridReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}

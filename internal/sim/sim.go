@@ -7,12 +7,14 @@ import (
 	"fmt"
 	mathbits "math/bits"
 	"os"
+	"time"
 
 	"ladder/internal/bits"
 	"ladder/internal/core"
 	"ladder/internal/cpu"
 	"ladder/internal/energy"
 	"ladder/internal/memctrl"
+	"ladder/internal/metrics"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
 	"ladder/internal/trace"
@@ -179,6 +181,16 @@ type Result struct {
 	// injected crash (CrashAtInstr runs only); PostCrash values are the
 	// deltas accumulated after recovery.
 	PreCrashStats, PostCrashStats *core.Stats
+	// InstructionsRetired is the total across cores.
+	InstructionsRetired uint64
+	// WallClock is the host time the run took (simulator performance,
+	// not simulated time).
+	WallClock time.Duration
+	// Metrics is the run's instrument registry — queue-occupancy gauges,
+	// per-channel RESET-latency histograms, cache and estimator
+	// counters; see docs/METRICS.md. Always non-nil from Run. Excluded
+	// from JSON: reports serialize its Snapshot instead (see Report).
+	Metrics *metrics.Registry `json:"-"`
 }
 
 // subtractStats returns after-minus-before for the additive counters used
@@ -301,7 +313,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	stats := &core.Stats{}
-	env := &core.Env{Geom: cfg.Geom, Store: store, Tables: tables, Stats: stats}
+	// Each run owns a private registry; RunGrid merges them afterward, so
+	// the observe paths stay lock-free (a run is single-goroutine).
+	reg := metrics.NewRegistry()
+	env := &core.Env{Geom: cfg.Geom, Store: store, Tables: tables, Stats: stats, Metrics: reg}
+	started := time.Now()
 	meter, err := energy.NewMeter(cfg.Energy)
 	if err != nil {
 		return nil, err
@@ -369,6 +385,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctrls[ch].Instrument(reg, ch)
 	}
 
 	// Optional vertical wear leveling.
@@ -555,6 +572,43 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for i := range cores {
 		res.PerCoreIPC[i] = float64(cfg.InstrPerCore) / float64(finish[i])
+		res.InstructionsRetired += cores[i].Retired()
 	}
+	res.WallClock = time.Since(started)
+	res.Metrics = reg
+	exportRunMetrics(reg, res, cfg.Geom, store, schemes)
 	return res, nil
+}
+
+// exportRunMetrics publishes the end-of-run scalars that are already
+// accounted elsewhere (Stats, the store, the wear leveler) as registry
+// counters, so a single Snapshot carries the whole run. Hot paths keep
+// their existing bookkeeping; only these absolute overwrites happen here.
+// Every name is cataloged in docs/METRICS.md.
+func exportRunMetrics(reg *metrics.Registry, res *Result, geom reram.Geometry, store *reram.Store, schemes []core.Scheme) {
+	reg.SetCounter("sim.ticks", res.Ticks)
+	reg.SetCounter("sim.instructions_retired", res.InstructionsRetired)
+	reg.SetCounter("sim.wall_clock_us", uint64(res.WallClock.Microseconds()))
+	reg.SetCounter("wear.gap_moves", res.GapMoves)
+	reg.SetCounter("core.traffic.data_reads", res.Stats.DataReads)
+	reg.SetCounter("core.traffic.data_writes", res.Stats.DataWrites)
+	reg.SetCounter("core.traffic.smb_reads", res.Stats.SMBReads)
+	reg.SetCounter("core.traffic.meta_reads", res.Stats.MetaReads)
+	reg.SetCounter("core.traffic.meta_writes", res.Stats.MetaWrites)
+	reg.SetCounter("core.meta_cache.hits", res.Stats.MetaCacheHits)
+	reg.SetCounter("core.meta_cache.misses", res.Stats.MetaCacheMisses)
+	reg.SetCounter("core.meta_cache.spill_parks", res.Stats.SpillParks)
+	var evictions uint64
+	for _, s := range schemes {
+		if c, ok := s.(interface{ Cache() *core.MetaCache }); ok {
+			evictions += c.Cache().Evictions()
+		}
+	}
+	reg.SetCounter("core.meta_cache.evictions", evictions)
+	for i, w := range store.BankWrites() {
+		bank := i % geom.BanksPerRank
+		rank := (i / geom.BanksPerRank) % geom.RanksPerChannel
+		ch := i / (geom.BanksPerRank * geom.RanksPerChannel)
+		reg.SetCounter(fmt.Sprintf("reram.ch%d.rank%d.bank%d.writes", ch, rank, bank), w)
+	}
 }

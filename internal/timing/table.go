@@ -48,6 +48,12 @@ type Table struct {
 	LatNs [Buckets][Buckets][Buckets]float64
 }
 
+// BucketOf clamps a raw wordline/bitline/content index into the table
+// domain and returns its bucket (0..Buckets-1) — the cell coordinate a
+// Lookup at that index reads. The observability layer uses it to
+// attribute each RESET to its timing-table cell (docs/METRICS.md).
+func (t *Table) BucketOf(idx int) int { return t.bucketOf(idx) }
+
 // bucketOf clamps and buckets a raw index.
 func (t *Table) bucketOf(idx int) int {
 	if idx < 0 {

@@ -51,6 +51,13 @@ type (
 	Row = sim.Row
 	// EnergySplit is Figure 17's per-scheme read/write energy breakdown.
 	EnergySplit = sim.EnergySplit
+	// Report is one run's structured record: headline numbers plus the
+	// full metrics snapshot (see docs/METRICS.md).
+	Report = sim.Report
+	// GridReport serializes a whole experiment grid.
+	GridReport = sim.GridReport
+	// BenchReport is the BENCH_*.json perf-snapshot document.
+	BenchReport = sim.BenchReport
 )
 
 // Scheme names.
@@ -68,6 +75,12 @@ const (
 
 // Run executes one simulation (see sim.Run).
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// NewReport freezes a run's Result into its serializable report form.
+func NewReport(res *Result) *Report { return sim.NewReport(res) }
+
+// NewGridReport freezes an experiment grid into its report form.
+func NewGridReport(g *Grid) (*GridReport, error) { return sim.NewGridReport(g) }
 
 // RunGrid simulates every workload under every scheme.
 func RunGrid(opts Options, schemes []string) (*Grid, error) { return sim.RunGrid(opts, schemes) }
