@@ -355,6 +355,24 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(50_000*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }
 
+// BenchmarkWriteHeavyThroughput measures simulator speed on the paper's
+// write-dominated workload (lbm, ~48% writes): long RESET pulses keep the
+// banks busy for hundreds of cycles at a time, so this is the benchmark
+// that shows what the event-driven engine buys over per-cycle ticking.
+func BenchmarkWriteHeavyThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ladder.Run(ladder.Config{
+			Workload:     "lbm",
+			Scheme:       ladder.SchemeHybrid,
+			InstrPerCore: 50_000,
+			Seed:         int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(50_000*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
 // TestBenchHarnessSmoke keeps the bench harness itself under test: a tiny
 // grid exercises every derivation path.
 func TestBenchHarnessSmoke(t *testing.T) {

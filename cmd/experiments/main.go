@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"ladder"
 	"ladder/internal/core"
@@ -23,7 +26,15 @@ import (
 	"ladder/internal/timing"
 )
 
+// runCtx is canceled on SIGINT/SIGTERM: in-flight simulations finish,
+// but no further grid cell starts, and the run exits with an error
+// instead of printing figures from a partial grid.
+var runCtx context.Context
+
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx = ctx
 	var (
 		exp    = flag.String("exp", "all", "experiment: fig2 fig4 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table4 storage lifetime ablation wear vwlmode crash cachesize lowrows fnw all")
 		instr  = flag.Uint64("instr", 150_000, "instructions per core per run")
@@ -185,7 +196,7 @@ func fail(err error) {
 }
 
 func mustGrid(opts ladder.Options, schemes []string) *ladder.Grid {
-	grid, err := ladder.RunGrid(opts, schemes)
+	grid, err := ladder.RunGridCtx(runCtx, opts, schemes)
 	if err != nil {
 		fail(err)
 	}

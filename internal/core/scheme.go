@@ -15,6 +15,13 @@
 // Stats accumulator, and an optional metrics.Registry through which the
 // estimator and metadata cache publish their accuracy and hit-rate
 // instruments (Sections 4.1/4.3; catalog in docs/METRICS.md).
+//
+// Schemes are constructed by name through a registry (RegisterScheme /
+// NewScheme): the built-ins register at init in the paper's evaluation
+// order, and an externally registered SchemeFactory is immediately
+// runnable everywhere a built-in is — the simulator, laddersim and the
+// experiments driver all resolve Config.Scheme through NewScheme and
+// hold no scheme switch of their own.
 package core
 
 import (

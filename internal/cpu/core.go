@@ -11,6 +11,7 @@ package cpu
 import (
 	"errors"
 
+	"ladder/internal/engine"
 	"ladder/internal/trace"
 )
 
@@ -35,6 +36,11 @@ type Core struct {
 	gapLeft     int
 	retired     uint64
 	stallCycles uint64
+	// stalled records whether the most recent Tick failed to retire: a
+	// stalled core cannot make progress until the memory system changes
+	// state, so the event engine parks it (NextEventAt = Horizon) until
+	// controller activity forces the next cycle to be processed.
+	stalled bool
 }
 
 // NewCore builds a core over any access source (a synthetic generator or
@@ -86,28 +92,81 @@ func (c *Core) Tick(issue IssueFunc) bool {
 	if c.gapLeft > 0 {
 		c.gapLeft--
 		c.retired++
+		c.stalled = false
 		return true
 	}
 	a := c.pending
 	if !a.Write {
 		if c.outstanding >= c.mlp {
 			c.stallCycles++
+			c.stalled = true
 			return false
 		}
 		if !issue(c.id, *a) {
 			c.stallCycles++
+			c.stalled = true
 			return false
 		}
 		c.outstanding++
 		c.retired++
+		c.stalled = false
 		c.fetch()
 		return true
 	}
 	if !issue(c.id, *a) {
 		c.stallCycles++
+		c.stalled = true
 		return false
 	}
 	c.retired++
+	c.stalled = false
 	c.fetch()
 	return true
+}
+
+// Skip advances the core through `cycles` cycles in bulk, for the event
+// engine's dead-cycle jumps. A core inside an instruction gap retires
+// one instruction per skipped cycle (memory-free progress); a core at a
+// memory-access boundary would have stalled every one of those cycles
+// (the engine only skips cycles in which the memory system provably
+// cannot have changed). The caller must not skip across the gap's end or
+// the instruction budget — the engine's NextEventAt contract guarantees
+// both.
+func (c *Core) Skip(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	if c.gapLeft > 0 {
+		if uint64(c.gapLeft) <= cycles {
+			panic("cpu: Skip across a memory-access boundary")
+		}
+		c.gapLeft -= int(cycles)
+		c.retired += cycles
+		c.stalled = false
+		return
+	}
+	c.stallCycles += cycles
+}
+
+// NextEventAt returns the next cycle strictly after now at which this
+// core's Tick is not predictable without consulting the memory system:
+// the end of its instruction gap, the cycle it exhausts `budget` retired
+// instructions, or now+1 when it sits at an unattempted access boundary.
+// A stalled core returns engine.Horizon — it can only be unblocked by
+// controller activity, which the engine reacts to on its own.
+func (c *Core) NextEventAt(now, budget uint64) uint64 {
+	if c.retired >= budget {
+		return engine.Horizon
+	}
+	if c.gapLeft > 0 {
+		d := uint64(c.gapLeft)
+		if r := budget - c.retired; r < d {
+			d = r
+		}
+		return now + d
+	}
+	if c.stalled {
+		return engine.Horizon
+	}
+	return now + 1
 }

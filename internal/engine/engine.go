@@ -1,0 +1,152 @@
+package engine
+
+// Clock is the simulation's monotonic time source, in CPU cycles.
+type Clock struct {
+	now uint64
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() uint64 { return c.now }
+
+// AdvanceTo moves the clock forward to cycle t. Time never runs
+// backwards; a violation is a scheduling bug, so it panics.
+func (c *Clock) AdvanceTo(t uint64) {
+	if t < c.now {
+		panic("engine: clock moved backwards")
+	}
+	c.now = t
+}
+
+// Actor is a simulation component driven by the Engine. See the package
+// comment for the contract that makes cycle skipping sound.
+type Actor interface {
+	// NextEventAt returns the earliest cycle strictly after now at which
+	// this actor needs Advance called (assuming no other actor acts
+	// first), or Horizon if it is blocked until another actor's activity
+	// wakes it.
+	NextEventAt(now uint64) uint64
+	// Advance processes cycle now and reports whether the actor changed
+	// state in a way that may affect other actors.
+	Advance(now uint64) bool
+}
+
+// Engine drives an ordered set of actors through simulated time. Every
+// processed cycle advances *all* actors in registration order — the
+// ordering guarantee the cycle-identical refactor depends on — and the
+// event queue decides which cycles need processing at all.
+type Engine struct {
+	clock  Clock
+	actors []Actor
+	q      EventQueue
+
+	processed bool   // at least one cycle has been processed
+	last      uint64 // last processed cycle (valid when processed)
+
+	progressEvery uint64
+	onProgress    func(now uint64)
+	nextProgress  uint64
+}
+
+// New returns an engine with its first cycle (0) scheduled.
+func New() *Engine {
+	e := &Engine{}
+	e.q.Push(0, nil)
+	return e
+}
+
+// Clock exposes the engine's clock. Actors may advance it mid-cycle
+// (e.g. an embedded drain loop); the engine re-reads it between actor
+// advances and discards events scheduled into the skipped-over past.
+func (e *Engine) Clock() *Clock { return &e.clock }
+
+// Add appends an actor. Registration order is advance order within each
+// processed cycle.
+func (e *Engine) Add(a Actor) { e.actors = append(e.actors, a) }
+
+// Schedule requests that cycle t be processed (an external wakeup).
+func (e *Engine) Schedule(t uint64) { e.q.Push(t, nil) }
+
+// SetProgress installs a periodic progress callback: fn fires at the top
+// of every cycle t with (t+1) divisible by every — i.e. once per `every`
+// cycles — before any actor advances, and those cycles are always
+// processed while the simulation has work left. With no callback
+// installed the engine never wakes for progress, so the hook costs
+// nothing when unused.
+func (e *Engine) SetProgress(every uint64, fn func(now uint64)) {
+	if every == 0 || fn == nil {
+		return
+	}
+	e.progressEvery = every
+	e.onProgress = fn
+	e.nextProgress = every - 1
+}
+
+// nextTime pops the earliest useful scheduled time: duplicates and
+// events at or before the last processed cycle (satisfied by a clock
+// jump) are discarded. A pending progress boundary earlier than the next
+// real event is processed first (without consuming the event), so
+// progress keeps firing through long dead windows but never keeps an
+// otherwise-finished simulation alive.
+func (e *Engine) nextTime() (uint64, bool) {
+	for {
+		t, ok := e.q.Peek()
+		if !ok {
+			return 0, false
+		}
+		if e.processed && t <= e.last {
+			e.q.Pop()
+			continue
+		}
+		if e.onProgress != nil && e.nextProgress < t {
+			return e.nextProgress, true
+		}
+		// Coalesce every entry for this cycle.
+		for {
+			e.q.Pop()
+			nt, ok := e.q.Peek()
+			if !ok || nt != t {
+				break
+			}
+		}
+		return t, true
+	}
+}
+
+// Step advances simulated time to the next scheduled cycle and processes
+// it: the progress hook fires, then every actor advances in order, then
+// each actor's next event is re-scheduled. Returns false when no events
+// remain — with live actors that means the simulation is deadlocked, as
+// a healthy system always has a next event.
+func (e *Engine) Step() bool {
+	t, ok := e.nextTime()
+	if !ok {
+		return false
+	}
+	e.clock.AdvanceTo(t)
+	if e.onProgress != nil && (t+1)%e.progressEvery == 0 {
+		e.onProgress(t)
+	}
+	active := false
+	for _, a := range e.actors {
+		// Re-read the clock: an actor may legitimately advance it (an
+		// embedded drain), and later actors must see the new time.
+		if a.Advance(e.clock.Now()) {
+			active = true
+		}
+	}
+	now := e.clock.Now()
+	e.processed = true
+	e.last = now
+	for _, a := range e.actors {
+		if n := a.NextEventAt(now); n != Horizon {
+			e.q.Push(n, nil)
+		}
+	}
+	if active {
+		e.q.Push(now+1, nil)
+	}
+	if e.onProgress != nil && e.nextProgress <= now {
+		e.nextProgress = ((now+1)/e.progressEvery+1)*e.progressEvery - 1
+	}
+	return true
+}

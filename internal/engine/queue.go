@@ -1,0 +1,122 @@
+// Package engine is the discrete-event core of the simulator: a monotonic
+// event queue on a min-heap, a simulation Clock, and an Engine that
+// advances a fixed, ordered set of Actors only at cycles where something
+// observable can happen — skipping the dead cycles a naive tick loop
+// would burn inside multi-hundred-cycle RESET pulses.
+//
+// The contract that makes skipping sound (see docs/ARCHITECTURE.md,
+// "Engine"):
+//
+//   - Advance(now) processes exactly one cycle and reports whether the
+//     actor changed state in a way that may affect *other* actors
+//     (completions, dispatches). Self-contained evolution (a core
+//     retiring gap instructions) is not activity.
+//   - NextEventAt(now) is the earliest cycle strictly after now at which
+//     the actor's Advance would not be a no-op, assuming no other actor
+//     acts first; Horizon means "nothing until someone wakes me".
+//   - After any cycle with activity, the engine always processes the
+//     next cycle too, so an actor blocked on another (a core stalled on
+//     a full write queue) re-evaluates exactly when the blocker's state
+//     has changed.
+//
+// Under that contract every cycle the engine skips is provably a no-op
+// for every actor, so the event-driven run is cycle-identical to the
+// seed tick loop (pinned by the golden test in internal/sim).
+package engine
+
+// Horizon is the "no scheduled event" sentinel: an event time later than
+// any cycle a simulation can reach.
+const Horizon = ^uint64(0)
+
+// Event is one scheduled entry of an EventQueue.
+type Event struct {
+	// At is the cycle the event is due.
+	At uint64
+	// Payload is an opaque tag carried for the scheduler's benefit; the
+	// queue never inspects it.
+	Payload any
+
+	seq uint64
+}
+
+// EventQueue is a stable min-heap of events ordered by (At, insertion
+// order): Pop returns events in non-decreasing time, and events with
+// equal timestamps come out in the order they were pushed.
+type EventQueue struct {
+	items []Event
+	seq   uint64
+}
+
+// Len returns the number of queued events.
+func (q *EventQueue) Len() int { return len(q.items) }
+
+// Push schedules an event. Times may arrive in any order; the heap
+// restores monotonic pop order.
+func (q *EventQueue) Push(at uint64, payload any) {
+	q.seq++
+	q.items = append(q.items, Event{At: at, Payload: payload, seq: q.seq})
+	q.up(len(q.items) - 1)
+}
+
+// Peek returns the earliest scheduled time without removing it.
+func (q *EventQueue) Peek() (uint64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].At, true
+}
+
+// Pop removes and returns the earliest event (ties broken by insertion
+// order).
+func (q *EventQueue) Pop() (Event, bool) {
+	if len(q.items) == 0 {
+		return Event{}, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = Event{} // release payload reference
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// less orders by time, then by insertion sequence for stability.
+func (q *EventQueue) less(i, j int) bool {
+	if q.items[i].At != q.items[j].At {
+		return q.items[i].At < q.items[j].At
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.items[i], q.items[least] = q.items[least], q.items[i]
+		i = least
+	}
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestQueuePopOrderProperty is the event-queue property test: draining
+// the queue pops events in non-decreasing time order, and events with
+// equal timestamps pop in push order (stability).
+func TestQueuePopOrderProperty(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var q EventQueue
+		n := 1 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			// Small time domain forces plenty of timestamp collisions.
+			q.Push(uint64(rng.Intn(20)), i)
+		}
+		type tagged struct {
+			at  uint64
+			tag int
+		}
+		popped := make([]tagged, 0, n)
+		for {
+			ev, ok := q.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, tagged{ev.At, ev.Payload.(int)})
+		}
+		if len(popped) != n {
+			t.Fatalf("trial %d: popped %d of %d pushed", trial, len(popped), n)
+		}
+		for i := 1; i < n; i++ {
+			if popped[i].at < popped[i-1].at {
+				t.Fatalf("trial %d: pop order decreased: %d after %d",
+					trial, popped[i].at, popped[i-1].at)
+			}
+			// Tags are assigned in push order, so within one timestamp they
+			// must come out ascending (stability).
+			if popped[i].at == popped[i-1].at && popped[i].tag < popped[i-1].tag {
+				t.Fatalf("trial %d: unstable at t=%d: tag %d after %d",
+					trial, popped[i].at, popped[i].tag, popped[i-1].tag)
+			}
+		}
+	}
+}
+
+// TestQueuePopIsAlwaysMin interleaves pushes and pops and checks every
+// pop returns the minimum of the queue's current contents.
+func TestQueuePopIsAlwaysMin(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewSource(1000 + int64(trial)))
+		var q EventQueue
+		var mirror []uint64
+		for i := 0; i < 300; i++ {
+			if q.Len() == 0 || rng.Intn(3) != 0 {
+				at := uint64(rng.Intn(50))
+				q.Push(at, nil)
+				mirror = append(mirror, at)
+				continue
+			}
+			ev, ok := q.Pop()
+			if !ok {
+				t.Fatalf("trial %d: pop failed with Len()=%d", trial, q.Len())
+			}
+			sort.Slice(mirror, func(a, b int) bool { return mirror[a] < mirror[b] })
+			if ev.At != mirror[0] {
+				t.Fatalf("trial %d: pop = %d, min = %d", trial, ev.At, mirror[0])
+			}
+			mirror = mirror[1:]
+		}
+		if q.Len() != len(mirror) {
+			t.Fatalf("trial %d: queue len %d, mirror %d", trial, q.Len(), len(mirror))
+		}
+	}
+}
+
+func TestQueuePeekAndEmpty(t *testing.T) {
+	var q EventQueue
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty queue")
+	}
+	q.Push(7, nil)
+	q.Push(3, nil)
+	if at, ok := q.Peek(); !ok || at != 3 {
+		t.Fatalf("peek = %d,%v want 3,true", at, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"ladder/internal/bits"
 	"ladder/internal/core"
 	"ladder/internal/energy"
+	"ladder/internal/engine"
 	"ladder/internal/metrics"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
@@ -321,26 +322,63 @@ func (c *Controller) routeWritebacks(wbs []core.MetaWriteback, now uint64) {
 }
 
 // Tick advances the controller one tick: completions, watermark
-// management, queue drains, and issue.
-func (c *Controller) Tick(now uint64) {
+// management, queue drains, and issue. It reports activity — whether any
+// operation completed or dispatched this cycle. Activity is what can
+// unblock the rest of the system (cores stalled on full queues or MLP
+// limits, queued writes waiting on metadata fills), so the event engine
+// always processes the cycle after an active one; a tick that reports
+// false leaves every externally visible invariant untouched and the
+// controller provably dormant until its next scheduled event.
+func (c *Controller) Tick(now uint64) bool {
 	if c.instrumented && now&occupancySampleMask == 0 {
 		c.mRDQOcc.Observe(float64(len(c.rdq)))
 		c.mWRQOcc.Observe(float64(len(c.wrq)))
 	}
-	c.completeFinished(now)
+	completed := c.completeFinished(now)
 	c.updateMode(now)
 	c.drainPending()
-	c.issue(now)
+	issued := c.issue(now)
+	return completed || issued
 }
 
-// completeFinished retires operations whose bank time elapsed.
-func (c *Controller) completeFinished(now uint64) {
+// NextEventAt returns the next cycle strictly after now at which this
+// controller's Tick can do something a no-op tick would not: the
+// earliest in-flight completion (bank-free times coincide with
+// completions, so dispatch opportunities appear there too). A non-idle
+// controller with nothing in flight asks for the very next cycle — the
+// conservative answer for queue states that only resolve through
+// repeated issue attempts. Idle controllers sleep until an enqueue wakes
+// the system.
+func (c *Controller) NextEventAt(now uint64) uint64 {
+	if len(c.inflight) == 0 {
+		if c.Idle() {
+			return engine.Horizon
+		}
+		return now + 1
+	}
+	next := engine.Horizon
+	for _, op := range c.inflight {
+		if op.finish < next {
+			next = op.finish
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// completeFinished retires operations whose bank time elapsed, reporting
+// whether any did.
+func (c *Controller) completeFinished(now uint64) bool {
+	completed := false
 	kept := c.inflight[:0]
 	for _, op := range c.inflight {
 		if op.finish > now {
 			kept = append(kept, op)
 			continue
 		}
+		completed = true
 		if op.read != nil {
 			c.finishRead(op.read, now)
 		} else {
@@ -348,6 +386,7 @@ func (c *Controller) completeFinished(now uint64) {
 		}
 	}
 	c.inflight = kept
+	return completed
 }
 
 // finishRead delivers a completed read.
@@ -443,31 +482,35 @@ func (c *Controller) drainPending() {
 	}
 }
 
-// issue starts operations on free banks. Writes take priority during
-// drain mode; reads otherwise. Auxiliary reads are always eligible (they
-// unblock queued writes), and the controller is work-conserving: leftover
-// free banks serve the other queue.
-func (c *Controller) issue(now uint64) {
+// issue starts operations on free banks, reporting whether any
+// dispatched. Writes take priority during drain mode; reads otherwise.
+// Auxiliary reads are always eligible (they unblock queued writes), and
+// the controller is work-conserving: leftover free banks serve the other
+// queue.
+func (c *Controller) issue(now uint64) bool {
+	issued := false
 	if c.writeMode {
-		c.issueWrites(now)
+		issued = c.issueWrites(now)
 		// Remaining free banks serve reads, auxiliary ones first (they
 		// unblock queued writes). Data reads must stay eligible: a read
 		// queue full of demand reads would otherwise wedge pending
 		// metadata fills and deadlock the drain.
-		c.issueReads(now, true)
-		c.issueReads(now, false)
+		issued = c.issueReads(now, true) || issued
+		issued = c.issueReads(now, false) || issued
 	} else {
-		c.issueReads(now, false)
+		issued = c.issueReads(now, false)
 		// Opportunistic drain when no reads are waiting.
 		if len(c.rdq) == 0 {
-			c.issueWrites(now)
+			issued = c.issueWrites(now) || issued
 		}
 	}
+	return issued
 }
 
 // issueReads dispatches queue-order reads to free banks; auxOnly
 // restricts to SMB/metadata reads (drain mode).
-func (c *Controller) issueReads(now uint64, auxOnly bool) {
+func (c *Controller) issueReads(now uint64, auxOnly bool) bool {
+	issued := false
 	for i := 0; i < len(c.rdq); {
 		r := c.rdq[i]
 		if auxOnly && r.Kind == ReadData {
@@ -483,11 +526,15 @@ func (c *Controller) issueReads(now uint64, auxOnly bool) {
 		c.bankBusy[bank] = now + dur
 		c.inflight = append(c.inflight, busyOp{finish: now + dur, read: r})
 		c.rdq = append(c.rdq[:i], c.rdq[i+1:]...)
+		issued = true
 	}
+	return issued
 }
 
-// issueWrites dispatches ready writes in queue order to free banks.
-func (c *Controller) issueWrites(now uint64) {
+// issueWrites dispatches ready writes in queue order to free banks,
+// reporting whether any did.
+func (c *Controller) issueWrites(now uint64) bool {
+	issued := false
 	for i := 0; i < len(c.wrq); {
 		req := c.wrq[i]
 		if !req.IsMeta && !c.scheme.Ready(req) {
@@ -521,7 +568,9 @@ func (c *Controller) issueWrites(now uint64) {
 		c.bankBusy[bank] = now + dur
 		c.inflight = append(c.inflight, busyOp{finish: now + dur, write: req, latNs: latNs})
 		c.wrq = append(c.wrq[:i], c.wrq[i+1:]...)
+		issued = true
 	}
+	return issued
 }
 
 // ReadLineLogical performs an immediate functional read (no timing):

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -52,6 +53,15 @@ type Grid struct {
 // independent (each builds its own memory image), so they execute on a
 // worker pool sized to the machine.
 func RunGrid(opts Options, schemes []string) (*Grid, error) {
+	return RunGridCtx(context.Background(), opts, schemes)
+}
+
+// RunGridCtx is RunGrid under a context: once ctx is canceled no further
+// cell is dispatched, already-running cells finish (a simulation is not
+// interruptible mid-cycle), and the context's error is reported alongside
+// any cell failures. A canceled grid is returned as an error, never as a
+// silently partial result.
+func RunGridCtx(ctx context.Context, opts Options, schemes []string) (*Grid, error) {
 	g := &Grid{
 		Workloads: opts.workloads(),
 		Schemes:   schemes,
@@ -81,6 +91,9 @@ func RunGrid(opts Options, schemes []string) (*Grid, error) {
 	)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for _, c := range cells {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(c cell) {
@@ -99,6 +112,9 @@ func RunGrid(opts Options, schemes []string) (*Grid, error) {
 		}(c)
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		runErrs = append(runErrs, fmt.Errorf("experiment grid canceled: %w", ctx.Err()))
+	}
 	if err := errors.Join(runErrs...); err != nil {
 		return nil, err
 	}

@@ -1,15 +1,19 @@
 // Package sim assembles the full system — trace-driven cores, per-channel
 // memory controllers, the ReRAM content store, a write scheme, energy
 // metering and optional wear leveling — and runs the paper's experiments.
+//
+// A run is a System driven through five phases (build → warm → execute →
+// drain → collect) by an event engine that skips cycles in which no
+// component can act; see system.go and docs/ARCHITECTURE.md. Write
+// schemes are resolved by name through core's scheme registry, so
+// externally registered policies (core.RegisterScheme) run everywhere a
+// built-in does.
 package sim
 
 import (
 	"fmt"
-	mathbits "math/bits"
-	"os"
 	"time"
 
-	"ladder/internal/bits"
 	"ladder/internal/core"
 	"ladder/internal/cpu"
 	"ladder/internal/energy"
@@ -17,29 +21,26 @@ import (
 	"ladder/internal/metrics"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
-	"ladder/internal/trace"
-	"ladder/internal/wear"
 )
 
-// Scheme names accepted by Config.Scheme.
+// Scheme names accepted by Config.Scheme, aliased from the core registry
+// (the canonical home; see core.RegisterScheme).
 const (
-	SchemeBaseline   = "baseline"
-	SchemeLocAware   = "location-aware"
-	SchemeOracle     = "Oracle"
-	SchemeSplitReset = "Split-reset"
-	SchemeBLP        = "BLP"
-	SchemeBasic      = "LADDER-Basic"
-	SchemeEst        = "LADDER-Est"
-	SchemeEstNoShift = "LADDER-Est-noshift"
-	SchemeHybrid     = "LADDER-Hybrid"
+	SchemeBaseline   = core.SchemeBaseline
+	SchemeLocAware   = core.SchemeLocAware
+	SchemeOracle     = core.SchemeOracle
+	SchemeSplitReset = core.SchemeSplitReset
+	SchemeBLP        = core.SchemeBLP
+	SchemeBasic      = core.SchemeBasic
+	SchemeEst        = core.SchemeEst
+	SchemeEstNoShift = core.SchemeEstNoShift
+	SchemeHybrid     = core.SchemeHybrid
 )
 
-// SchemeNames lists every supported scheme in evaluation order.
+// SchemeNames lists every runnable scheme: the built-ins in evaluation
+// order followed by any externally registered ones.
 func SchemeNames() []string {
-	return []string{
-		SchemeBaseline, SchemeLocAware, SchemeOracle, SchemeSplitReset,
-		SchemeBLP, SchemeBasic, SchemeEst, SchemeEstNoShift, SchemeHybrid,
-	}
+	return core.RegisteredSchemes()
 }
 
 // FigureSchemes lists the schemes Figures 12/13/16 compare.
@@ -50,11 +51,33 @@ func FigureSchemes() []string {
 	}
 }
 
+// CoreProgress is one core's snapshot in a ProgressInfo.
+type CoreProgress struct {
+	Retired     uint64
+	Outstanding int
+}
+
+// ChannelProgress is one memory channel's snapshot in a ProgressInfo.
+type ChannelProgress struct {
+	ReadQueue, WriteQueue int
+	WriteMode             bool
+}
+
+// ProgressInfo is the periodic progress snapshot delivered to
+// Config.Progress (or printed when LADDER_DEBUG is set).
+type ProgressInfo struct {
+	// Cycle is the simulated cycle the snapshot was taken at.
+	Cycle    uint64
+	Cores    []CoreProgress
+	Channels []ChannelProgress
+}
+
 // Config describes one simulation run.
 type Config struct {
 	// Workload is a single benchmark name or a Table 3 mix name.
 	Workload string
-	// Scheme selects the write policy (see Scheme constants).
+	// Scheme selects the write policy (see Scheme constants; any name
+	// registered via core.RegisterScheme resolves).
 	Scheme string
 	// InstrPerCore is the per-core instruction budget.
 	InstrPerCore uint64
@@ -112,6 +135,14 @@ type Config struct {
 	// single core instead of synthesizing the workload; Workload becomes a
 	// label only. The trace's addresses must fit the configured geometry.
 	TraceFile string
+	// Progress, when set, receives a periodic snapshot of run state every
+	// ProgressEvery cycles (long-run liveness without any printf in the
+	// hot loop). When nil, setting the LADDER_DEBUG environment variable
+	// wires a default printer to the same hook.
+	Progress func(ProgressInfo) `json:"-"`
+	// ProgressEvery is the progress-callback period in cycles (0 = every
+	// 5M cycles, i.e. 1.25 simulated milliseconds).
+	ProgressEvery uint64
 }
 
 func (c *Config) applyDefaults() error {
@@ -239,33 +270,6 @@ func (r *Result) WeightedSpeedup(baseline *Result) float64 {
 	return s / float64(len(r.PerCoreIPC))
 }
 
-// newScheme instantiates a scheme by name; each controller gets its own
-// instance (private metadata cache) over the shared environment.
-func newScheme(name string, env *core.Env, cacheCfg core.MetaCacheConfig) (core.Scheme, error) {
-	switch name {
-	case SchemeBaseline:
-		return core.NewBaseline(env), nil
-	case SchemeLocAware:
-		return core.NewLocationAware(env), nil
-	case SchemeOracle:
-		return core.NewOracle(env), nil
-	case SchemeSplitReset:
-		return core.NewSplitReset(env), nil
-	case SchemeBLP:
-		return core.NewBLP(env), nil
-	case SchemeBasic:
-		return core.NewBasicCache(env, cacheCfg)
-	case SchemeEst:
-		return core.NewEstCache(env, true, cacheCfg)
-	case SchemeEstNoShift:
-		return core.NewEstCache(env, false, cacheCfg)
-	case SchemeHybrid:
-		return core.NewHybridCache(env, cacheCfg)
-	default:
-		return nil, fmt.Errorf("sim: unknown scheme %q", name)
-	}
-}
-
 // shrunk returns a table set with its dynamic range compressed by factor.
 func shrunk(ts *timing.TableSet, factor float64) *timing.TableSet {
 	out := &timing.TableSet{
@@ -278,306 +282,19 @@ func shrunk(ts *timing.TableSet, factor float64) *timing.TableSet {
 	return out
 }
 
-// Run executes one simulation to completion and returns its measurements.
+// Run executes one simulation to completion and returns its measurements:
+// it builds a System and drives it through its phases.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.applyDefaults(); err != nil {
-		return nil, err
-	}
-	var profiles []trace.Profile
-	if cfg.TraceFile != "" {
-		profiles = make([]trace.Profile, 1)
-	} else {
-		var err error
-		profiles, err = trace.MixProfiles(cfg.Workload)
-		if err != nil {
-			return nil, err
-		}
-	}
-	tables := cfg.Tables
-	if cfg.ShrinkRange > 1 {
-		tables = shrunk(tables, cfg.ShrinkRange)
-	}
-	store, err := reram.NewStore(cfg.Geom)
+	sys, err := newSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.ResidentLevel > 0 {
-		store.SetResident(cfg.ResidentLevel, uint64(cfg.Seed)+0x5eed)
-		// Under a shifting scheme, data resident from before the
-		// simulation window was stored through the same datapath.
-		switch cfg.Scheme {
-		case SchemeEst, SchemeHybrid:
-			store.SetResidentTransform(func(slot int, l bits.Line) bits.Line {
-				return bits.Shifted(l, slot)
-			})
-		}
-	}
-	stats := &core.Stats{}
-	// Each run owns a private registry; RunGrid merges them afterward, so
-	// the observe paths stay lock-free (a run is single-goroutine).
-	reg := metrics.NewRegistry()
-	env := &core.Env{Geom: cfg.Geom, Store: store, Tables: tables, Stats: stats, Metrics: reg}
-	started := time.Now()
-	meter, err := energy.NewMeter(cfg.Energy)
-	if err != nil {
-		return nil, err
-	}
-
-	// Cores: one per profile, in disjoint address regions (or a single
-	// core replaying a recorded trace).
-	cores := make([]*cpu.Core, len(profiles))
-	finish := make([]uint64, len(profiles))
-	if cfg.TraceFile != "" {
-		rep, err := trace.LoadFile(cfg.TraceFile)
-		if err != nil {
+	for _, phase := range []func() error{sys.warm, sys.execute, sys.drainRemaining} {
+		if err := phase(); err != nil {
 			return nil, err
 		}
-		if rep.MaxLine() >= cfg.Geom.Lines() {
-			return nil, fmt.Errorf("sim: trace address %d exceeds the configured memory (%d lines)", rep.MaxLine(), cfg.Geom.Lines())
-		}
-		c, err := cpu.NewCore(0, rep, cfg.MLP)
-		if err != nil {
-			return nil, err
-		}
-		cores = []*cpu.Core{c}
-		finish = make([]uint64, 1)
-	} else {
-		regionPages := cfg.Geom.Lines() / reram.BlocksPerRow / uint64(len(profiles)+1)
-		for i, p := range profiles {
-			// Clamp the footprint to the core's region so every generated
-			// address decodes (small test geometries compress footprints).
-			if uint64(p.WorkingSetPages) > regionPages {
-				p.WorkingSetPages = int(regionPages)
-			}
-			gen, err := trace.NewGenerator(p, cfg.Seed+int64(i)*7919+1, uint64(i)*regionPages)
-			if err != nil {
-				return nil, err
-			}
-			cores[i], err = cpu.NewCore(i, gen, cfg.MLP)
-			if err != nil {
-				return nil, err
-			}
-		}
 	}
-
-	// Controllers: one per channel, each with a private scheme instance.
-	ctrls := make([]*memctrl.Controller, cfg.Geom.Channels)
-	onReadDone := func(r *memctrl.ReadReq, _ uint64) {
-		if r.Core >= 0 && r.Core < len(cores) {
-			cores[r.Core].ReadDone()
-		}
-	}
-	schemes := make([]core.Scheme, cfg.Geom.Channels)
-	for ch := range ctrls {
-		scheme, err := newScheme(cfg.Scheme, env, cfg.MetaCache)
-		if err != nil {
-			return nil, err
-		}
-		if h, ok := scheme.(*core.Hybrid); ok && cfg.HybridLowRows != 0 {
-			n := cfg.HybridLowRows
-			if n < 0 {
-				n = 0
-			}
-			h.SetLowPrecisionRows(n)
-		}
-		schemes[ch] = scheme
-		ctrls[ch], err = memctrl.NewController(cfg.Ctrl, env, scheme, meter, onReadDone)
-		if err != nil {
-			return nil, err
-		}
-		ctrls[ch].Instrument(reg, ch)
-	}
-
-	// Optional vertical wear leveling.
-	var vwl *wear.StartGap
-	var lineRemap func(uint64) uint64
-	if cfg.WearLeveling {
-		switch cfg.VWLMode {
-		case "", "segment":
-			// Segment-based Start-Gap: whole wordline groups move
-			// together, preserving the page→metadata-line association
-			// (Figure 18b). The remap shifts crossbar rows; gap moves
-			// charge maintenance writes.
-			segments := int(cfg.Geom.Rows()/uint64(cfg.VWLSegmentRows)) + 1
-			vwl, err = wear.NewStartGap(segments, cfg.VWLPeriod)
-			if err != nil {
-				return nil, err
-			}
-			for _, c := range ctrls {
-				c.SetRemap(func(loc reram.Location) reram.Location {
-					seg := int(cfg.Geom.GlobalRow(loc) / uint64(cfg.VWLSegmentRows))
-					phys := vwl.Phys(seg % vwl.Segments())
-					loc.WL = (loc.WL + phys) % cfg.Geom.MatRows
-					return loc
-				})
-			}
-		case "line":
-			// Line-granularity leveling (Security-Refresh style): the
-			// steady-state address scatter distributes a page's blocks
-			// over different wordline groups — the case Section 6.4 warns
-			// deteriorates LRS-metadata locality. Modeled as a static
-			// XOR bijection over line addresses (epoch migrations not
-			// charged; the performance claim concerns the scatter).
-			lines := cfg.Geom.Lines()
-			if lines&(lines-1) != 0 {
-				return nil, fmt.Errorf("sim: line-mode VWL requires a power-of-two line count")
-			}
-			// Rotate the slot bits to the top of the address: the 64
-			// blocks of one page land in 64 different wordline groups (a
-			// bijection, so reads still find their data).
-			width := uint(mathbits.TrailingZeros64(lines))
-			lineRemap = func(line uint64) uint64 {
-				return (line>>6 | (line&63)<<(width-6)) & (lines - 1)
-			}
-		default:
-			return nil, fmt.Errorf("sim: unknown VWLMode %q", cfg.VWLMode)
-		}
-	}
-
-	var expected map[uint64]bits.Line
-	if cfg.Verify {
-		expected = make(map[uint64]bits.Line)
-	}
-
-	var now uint64
-	issue := func(coreID int, a trace.Access) bool {
-		if lineRemap != nil {
-			a.Line = lineRemap(a.Line)
-		}
-		loc, err := cfg.Geom.Decode(a.Line)
-		if err != nil {
-			// Footprints are clamped to the memory, so this cannot happen;
-			// dropping silently would leak the core's MLP slots.
-			panic(fmt.Sprintf("sim: trace address %d outside memory: %v", a.Line, err))
-		}
-		c := ctrls[loc.Channel]
-		if a.Write {
-			if !c.EnqueueWrite(a.Line, a.Data, now) {
-				return false
-			}
-			if vwl != nil && vwl.RecordWrite() {
-				c.EnqueueMaintenance(loc, now)
-			}
-			if expected != nil {
-				expected[a.Line] = a.Data
-			}
-			return true
-		}
-		return c.EnqueueRead(coreID, a.Line, now)
-	}
-
-	const drainCap = 50_000_000
-	drain := func() {
-		for drained := 0; drained < drainCap; drained++ {
-			idle := true
-			for _, c := range ctrls {
-				c.Tick(now)
-				if !c.Idle() {
-					idle = false
-				}
-			}
-			now++
-			if idle {
-				return
-			}
-		}
-	}
-
-	// Main loop: tick cores until each exhausts its budget, then drain.
-	running := len(cores)
-	crashPending := cfg.CrashAtInstr > 0
-	var preCrash *core.Stats
-	debug := os.Getenv("LADDER_DEBUG") != ""
-	for running > 0 {
-		if crashPending {
-			var total uint64
-			for _, c := range cores {
-				total += c.Retired()
-			}
-			if total >= cfg.CrashAtInstr {
-				crashPending = false
-				// Power failure: in-flight work drains (the devices finish
-				// their pulses), then volatile metadata is lost and the
-				// lazy conservative correction runs.
-				drain()
-				for _, s := range schemes {
-					if cr, ok := s.(core.CrashRecoverable); ok {
-						cr.CrashRecover()
-					}
-				}
-				snap := *stats
-				preCrash = &snap
-			}
-		}
-		if debug && now%5_000_000 == 4_999_999 {
-			fmt.Printf("tick %d:", now)
-			for i, c := range cores {
-				fmt.Printf(" core%d ret=%d out=%d", i, c.Retired(), c.Outstanding())
-			}
-			for ch, c := range ctrls {
-				fmt.Printf(" | ch%d rdq=%d wrq=%d wm=%v", ch, c.ReadQueueLen(), c.WriteQueueLen(), c.InWriteMode())
-			}
-			fmt.Println()
-		}
-		for i, c := range cores {
-			if finish[i] != 0 {
-				continue
-			}
-			c.Tick(issue)
-			if c.Retired() >= cfg.InstrPerCore {
-				finish[i] = now + 1
-				running--
-			}
-		}
-		for _, c := range ctrls {
-			c.Tick(now)
-		}
-		now++
-	}
-	drain()
-
-	if expected != nil {
-		for line, want := range expected {
-			loc, err := cfg.Geom.Decode(line)
-			if err != nil {
-				continue
-			}
-			got, err := ctrls[loc.Channel].ReadLineLogical(line)
-			if err != nil {
-				return nil, fmt.Errorf("sim: verify read %d: %w", line, err)
-			}
-			if got != want {
-				return nil, fmt.Errorf("sim: verify failed at line %d: stored data does not decode to the written content", line)
-			}
-		}
-	}
-
-	res := &Result{
-		Workload:         cfg.Workload,
-		Scheme:           cfg.Scheme,
-		PerCoreIPC:       make([]float64, len(cores)),
-		Ticks:            now,
-		Stats:            *stats,
-		ReadNJ:           meter.ReadNJ,
-		WriteNJ:          meter.WriteNJ,
-		TotalStoreWrites: store.TotalWrites(),
-		MaxRowWrites:     store.MaxRowWrites(),
-	}
-	if vwl != nil {
-		res.GapMoves = vwl.Moves()
-	}
-	if preCrash != nil {
-		res.PreCrashStats = preCrash
-		res.PostCrashStats = subtractStats(stats, preCrash)
-	}
-	for i := range cores {
-		res.PerCoreIPC[i] = float64(cfg.InstrPerCore) / float64(finish[i])
-		res.InstructionsRetired += cores[i].Retired()
-	}
-	res.WallClock = time.Since(started)
-	res.Metrics = reg
-	exportRunMetrics(reg, res, cfg.Geom, store, schemes)
-	return res, nil
+	return sys.collect()
 }
 
 // exportRunMetrics publishes the end-of-run scalars that are already

@@ -1,0 +1,602 @@
+package sim
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"os"
+	"time"
+
+	"ladder/internal/bits"
+	"ladder/internal/core"
+	"ladder/internal/cpu"
+	"ladder/internal/energy"
+	"ladder/internal/engine"
+	"ladder/internal/memctrl"
+	"ladder/internal/metrics"
+	"ladder/internal/reram"
+	"ladder/internal/timing"
+	"ladder/internal/trace"
+	"ladder/internal/wear"
+)
+
+// drainCap bounds a controller drain: a system that cannot quiesce
+// within 50M simulated cycles (12.5 ms at 4 GHz, orders of magnitude
+// beyond any legitimate backlog) is wedged, and Run reports it as an
+// error instead of returning silently-truncated results.
+const drainCap = 50_000_000
+
+// System is one assembled simulation: the construction products of the
+// build phase plus the event engine that executes it. Run drives it
+// through its phases — build, warm, execute, drain, collect — each an
+// ordinary method so variants (warmup-only runs, checkpoint/resume
+// experiments) can compose them differently.
+type System struct {
+	cfg       Config
+	tables    *timing.TableSet
+	store     *reram.Store
+	stats     *core.Stats
+	reg       *metrics.Registry
+	env       *core.Env
+	meter     *energy.Meter
+	cores     []*cpu.Core
+	finish    []uint64
+	ctrls     []*memctrl.Controller
+	schemes   []core.Scheme
+	vwl       *wear.StartGap
+	lineRemap func(uint64) uint64
+	expected  map[uint64]bits.Line
+	started   time.Time
+
+	eng      *engine.Engine
+	clock    *engine.Clock
+	coreActs []*coreActor
+
+	running      int
+	crashPending bool
+	preCrash     *core.Stats
+	// err carries a failure raised inside an actor (actors cannot return
+	// errors through the engine) out to the execute phase.
+	err error
+}
+
+// newSystem is the build phase: it constructs every component — store,
+// stats, metrics registry, energy meter, cores, per-channel controllers
+// with their private scheme instances, optional wear leveling — and the
+// event engine that will drive them, without simulating a single cycle.
+func newSystem(cfg Config) (*System, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, started: time.Now()}
+
+	var profiles []trace.Profile
+	if cfg.TraceFile != "" {
+		profiles = make([]trace.Profile, 1)
+	} else {
+		var err error
+		profiles, err = trace.MixProfiles(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.tables = cfg.Tables
+	if cfg.ShrinkRange > 1 {
+		s.tables = shrunk(s.tables, cfg.ShrinkRange)
+	}
+	var err error
+	s.store, err = reram.NewStore(cfg.Geom)
+	if err != nil {
+		return nil, err
+	}
+	s.stats = &core.Stats{}
+	// Each run owns a private registry; RunGrid merges them afterward, so
+	// the observe paths stay lock-free (a run is single-goroutine).
+	s.reg = metrics.NewRegistry()
+	s.env = &core.Env{Geom: cfg.Geom, Store: s.store, Tables: s.tables, Stats: s.stats, Metrics: s.reg}
+	s.meter, err = energy.NewMeter(cfg.Energy)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := s.buildCores(profiles); err != nil {
+		return nil, err
+	}
+	if err := s.buildControllers(); err != nil {
+		return nil, err
+	}
+	if err := s.buildWearLeveling(); err != nil {
+		return nil, err
+	}
+	if cfg.Verify {
+		s.expected = make(map[uint64]bits.Line)
+	}
+	s.buildEngine()
+	return s, nil
+}
+
+// buildCores creates one core per profile in disjoint address regions
+// (or a single core replaying a recorded trace).
+func (s *System) buildCores(profiles []trace.Profile) error {
+	cfg := s.cfg
+	if cfg.TraceFile != "" {
+		rep, err := trace.LoadFile(cfg.TraceFile)
+		if err != nil {
+			return err
+		}
+		if rep.MaxLine() >= cfg.Geom.Lines() {
+			return fmt.Errorf("sim: trace address %d exceeds the configured memory (%d lines)", rep.MaxLine(), cfg.Geom.Lines())
+		}
+		c, err := cpu.NewCore(0, rep, cfg.MLP)
+		if err != nil {
+			return err
+		}
+		s.cores = []*cpu.Core{c}
+		s.finish = make([]uint64, 1)
+		return nil
+	}
+	s.cores = make([]*cpu.Core, len(profiles))
+	s.finish = make([]uint64, len(profiles))
+	regionPages := cfg.Geom.Lines() / reram.BlocksPerRow / uint64(len(profiles)+1)
+	for i, p := range profiles {
+		// Clamp the footprint to the core's region so every generated
+		// address decodes (small test geometries compress footprints).
+		if uint64(p.WorkingSetPages) > regionPages {
+			p.WorkingSetPages = int(regionPages)
+		}
+		gen, err := trace.NewGenerator(p, cfg.Seed+int64(i)*7919+1, uint64(i)*regionPages)
+		if err != nil {
+			return err
+		}
+		s.cores[i], err = cpu.NewCore(i, gen, cfg.MLP)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildControllers creates one controller per channel, each resolving its
+// private scheme instance through the core registry.
+func (s *System) buildControllers() error {
+	cfg := s.cfg
+	onReadDone := func(r *memctrl.ReadReq, _ uint64) {
+		if r.Core >= 0 && r.Core < len(s.cores) {
+			s.cores[r.Core].ReadDone()
+		}
+	}
+	s.ctrls = make([]*memctrl.Controller, cfg.Geom.Channels)
+	s.schemes = make([]core.Scheme, cfg.Geom.Channels)
+	for ch := range s.ctrls {
+		scheme, err := core.NewScheme(cfg.Scheme, s.env, cfg.MetaCache)
+		if err != nil {
+			return err
+		}
+		if h, ok := scheme.(*core.Hybrid); ok && cfg.HybridLowRows != 0 {
+			n := cfg.HybridLowRows
+			if n < 0 {
+				n = 0
+			}
+			h.SetLowPrecisionRows(n)
+		}
+		s.schemes[ch] = scheme
+		s.ctrls[ch], err = memctrl.NewController(cfg.Ctrl, s.env, scheme, s.meter, onReadDone)
+		if err != nil {
+			return err
+		}
+		s.ctrls[ch].Instrument(s.reg, ch)
+	}
+	return nil
+}
+
+// buildWearLeveling configures optional vertical wear leveling.
+func (s *System) buildWearLeveling() error {
+	cfg := s.cfg
+	if !cfg.WearLeveling {
+		return nil
+	}
+	switch cfg.VWLMode {
+	case "", "segment":
+		// Segment-based Start-Gap: whole wordline groups move together,
+		// preserving the page→metadata-line association (Figure 18b). The
+		// remap shifts crossbar rows; gap moves charge maintenance writes.
+		segments := int(cfg.Geom.Rows()/uint64(cfg.VWLSegmentRows)) + 1
+		vwl, err := wear.NewStartGap(segments, cfg.VWLPeriod)
+		if err != nil {
+			return err
+		}
+		s.vwl = vwl
+		for _, c := range s.ctrls {
+			c.SetRemap(func(loc reram.Location) reram.Location {
+				seg := int(cfg.Geom.GlobalRow(loc) / uint64(cfg.VWLSegmentRows))
+				phys := vwl.Phys(seg % vwl.Segments())
+				loc.WL = (loc.WL + phys) % cfg.Geom.MatRows
+				return loc
+			})
+		}
+	case "line":
+		// Line-granularity leveling (Security-Refresh style): the
+		// steady-state address scatter distributes a page's blocks over
+		// different wordline groups — the case Section 6.4 warns
+		// deteriorates LRS-metadata locality. Modeled as a static XOR
+		// bijection over line addresses (epoch migrations not charged; the
+		// performance claim concerns the scatter).
+		lines := cfg.Geom.Lines()
+		if lines&(lines-1) != 0 {
+			return fmt.Errorf("sim: line-mode VWL requires a power-of-two line count")
+		}
+		// Rotate the slot bits to the top of the address: the 64 blocks of
+		// one page land in 64 different wordline groups (a bijection, so
+		// reads still find their data).
+		width := uint(mathbits.TrailingZeros64(lines))
+		s.lineRemap = func(line uint64) uint64 {
+			return (line>>6 | (line&63)<<(width-6)) & (lines - 1)
+		}
+	default:
+		return fmt.Errorf("sim: unknown VWLMode %q", cfg.VWLMode)
+	}
+	return nil
+}
+
+// buildEngine assembles the event engine. Actor registration order is
+// the per-cycle evaluation order and is load-bearing for cycle-identical
+// results: the crash monitor first (a power failure preempts the cycle),
+// then cores in index order, then controllers in channel order — cores
+// before controllers so an enqueue is visible to its channel within the
+// same cycle, exactly as in the classic tick loop.
+func (s *System) buildEngine() {
+	s.eng = engine.New()
+	s.clock = s.eng.Clock()
+	s.running = len(s.cores)
+	if s.cfg.CrashAtInstr > 0 {
+		s.crashPending = true
+		s.eng.Add(&crashActor{sys: s})
+	}
+	s.coreActs = make([]*coreActor, len(s.cores))
+	for i := range s.cores {
+		s.coreActs[i] = &coreActor{sys: s, i: i}
+		s.eng.Add(s.coreActs[i])
+	}
+	for _, c := range s.ctrls {
+		s.eng.Add(&ctrlActor{c: c})
+	}
+	if p := s.progressHook(); p != nil {
+		every := s.cfg.ProgressEvery
+		if every == 0 {
+			every = 5_000_000
+		}
+		s.eng.SetProgress(every, p)
+	}
+}
+
+// progressHook resolves the periodic-progress callback: an explicit
+// Config.Progress wins; otherwise LADDER_DEBUG installs the stderr-free
+// diagnostic printer the environment variable has always meant.
+func (s *System) progressHook() func(uint64) {
+	emit := s.cfg.Progress
+	if emit == nil {
+		if os.Getenv("LADDER_DEBUG") == "" {
+			return nil
+		}
+		emit = printProgress
+	}
+	return func(now uint64) {
+		info := ProgressInfo{Cycle: now, Cores: make([]CoreProgress, len(s.cores)), Channels: make([]ChannelProgress, len(s.ctrls))}
+		for i, c := range s.cores {
+			info.Cores[i] = CoreProgress{Retired: c.Retired(), Outstanding: c.Outstanding()}
+		}
+		for ch, c := range s.ctrls {
+			info.Channels[ch] = ChannelProgress{ReadQueue: c.ReadQueueLen(), WriteQueue: c.WriteQueueLen(), WriteMode: c.InWriteMode()}
+		}
+		emit(info)
+	}
+}
+
+// printProgress is the LADDER_DEBUG default progress sink.
+func printProgress(p ProgressInfo) {
+	fmt.Printf("tick %d:", p.Cycle)
+	for i, c := range p.Cores {
+		fmt.Printf(" core%d ret=%d out=%d", i, c.Retired, c.Outstanding)
+	}
+	for ch, c := range p.Channels {
+		fmt.Printf(" | ch%d rdq=%d wrq=%d wm=%v", ch, c.ReadQueue, c.WriteQueue, c.WriteMode)
+	}
+	fmt.Println()
+}
+
+// warm is the warm phase: it prefills resident data into the store so
+// touched wordline groups carry realistic ones-density before the first
+// write arrives.
+func (s *System) warm() error {
+	cfg := s.cfg
+	if cfg.ResidentLevel <= 0 {
+		return nil
+	}
+	s.store.SetResident(cfg.ResidentLevel, uint64(cfg.Seed)+0x5eed)
+	// Under a shifting scheme, data resident from before the simulation
+	// window was stored through the same datapath.
+	switch cfg.Scheme {
+	case SchemeEst, SchemeHybrid:
+		s.store.SetResidentTransform(func(slot int, l bits.Line) bits.Line {
+			return bits.Shifted(l, slot)
+		})
+	}
+	return nil
+}
+
+// issue hands one access from a core to its channel's controller,
+// reporting whether it was accepted. It is the cores' IssueFunc.
+func (s *System) issue(coreID int, a trace.Access) bool {
+	now := s.clock.Now()
+	if s.lineRemap != nil {
+		a.Line = s.lineRemap(a.Line)
+	}
+	loc, err := s.cfg.Geom.Decode(a.Line)
+	if err != nil {
+		// Footprints are clamped to the memory, so this cannot happen;
+		// dropping silently would leak the core's MLP slots.
+		panic(fmt.Sprintf("sim: trace address %d outside memory: %v", a.Line, err))
+	}
+	c := s.ctrls[loc.Channel]
+	if a.Write {
+		if !c.EnqueueWrite(a.Line, a.Data, now) {
+			return false
+		}
+		if s.vwl != nil && s.vwl.RecordWrite() {
+			c.EnqueueMaintenance(loc, now)
+		}
+		if s.expected != nil {
+			s.expected[a.Line] = a.Data
+		}
+		return true
+	}
+	return c.EnqueueRead(coreID, a.Line, now)
+}
+
+// execute is the execute phase: the engine steps from event to event
+// until every core exhausts its instruction budget. Cycles in which no
+// component can act are skipped wholesale — the wall-clock win of the
+// event-driven engine — while processed cycles replay the classic loop's
+// exact evaluation order.
+func (s *System) execute() error {
+	for s.running > 0 {
+		if !s.eng.Step() {
+			return fmt.Errorf("sim: simulation deadlock: %d cores blocked with no pending events", s.running)
+		}
+		if s.err != nil {
+			return s.err
+		}
+	}
+	return nil
+}
+
+// drainRemaining is the drain phase: after the last core retires its
+// final instruction, outstanding queue entries and in-flight pulses are
+// allowed to finish.
+func (s *System) drainRemaining() error {
+	// The main loop ends inside the cycle the last core finished; draining
+	// starts on the next one, as the classic loop's now++ did.
+	s.clock.AdvanceTo(s.clock.Now() + 1)
+	return s.drain()
+}
+
+// drain runs controller-only cycles starting at the current clock until
+// every channel is idle, jumping over provably dead cycles. Cores are
+// frozen throughout (a drain models the cores having stopped — end of
+// run, or a power failure cutting them off). On return the clock rests
+// one past the first idle cycle, matching the classic loop. A system
+// still busy after drainCap simulated cycles is wedged, and that is an
+// error — truncated results must not masquerade as converged ones.
+func (s *System) drain() error {
+	start := s.clock.Now()
+	now := start
+	for {
+		if now-start >= drainCap {
+			return fmt.Errorf("sim: controllers failed to drain within %d cycles (read/write queues wedged)", drainCap)
+		}
+		idle := true
+		active := false
+		for _, c := range s.ctrls {
+			if c.Tick(now) {
+				active = true
+			}
+			if !c.Idle() {
+				idle = false
+			}
+		}
+		prev := now
+		now++
+		if idle {
+			s.clock.AdvanceTo(now)
+			return nil
+		}
+		if !active {
+			// Nothing completed or dispatched: the next state change is the
+			// earliest in-flight completion; everything before it is dead.
+			next := engine.Horizon
+			for _, c := range s.ctrls {
+				if n := c.NextEventAt(prev); n < next {
+					next = n
+				}
+			}
+			if next > now && next != engine.Horizon {
+				now = next
+			}
+		}
+		s.clock.AdvanceTo(now)
+	}
+}
+
+// collect is the collect phase: read-back verification and assembly of
+// the run's Result from the components' accounting.
+func (s *System) collect() (*Result, error) {
+	if s.expected != nil {
+		for line, want := range s.expected {
+			loc, err := s.cfg.Geom.Decode(line)
+			if err != nil {
+				continue
+			}
+			got, err := s.ctrls[loc.Channel].ReadLineLogical(line)
+			if err != nil {
+				return nil, fmt.Errorf("sim: verify read %d: %w", line, err)
+			}
+			if got != want {
+				return nil, fmt.Errorf("sim: verify failed at line %d: stored data does not decode to the written content", line)
+			}
+		}
+	}
+	res := &Result{
+		Workload:         s.cfg.Workload,
+		Scheme:           s.cfg.Scheme,
+		PerCoreIPC:       make([]float64, len(s.cores)),
+		Ticks:            s.clock.Now(),
+		Stats:            *s.stats,
+		ReadNJ:           s.meter.ReadNJ,
+		WriteNJ:          s.meter.WriteNJ,
+		TotalStoreWrites: s.store.TotalWrites(),
+		MaxRowWrites:     s.store.MaxRowWrites(),
+	}
+	if s.vwl != nil {
+		res.GapMoves = s.vwl.Moves()
+	}
+	if s.preCrash != nil {
+		res.PreCrashStats = s.preCrash
+		res.PostCrashStats = subtractStats(s.stats, s.preCrash)
+	}
+	for i := range s.cores {
+		res.PerCoreIPC[i] = float64(s.cfg.InstrPerCore) / float64(s.finish[i])
+		res.InstructionsRetired += s.cores[i].Retired()
+	}
+	res.WallClock = time.Since(s.started)
+	res.Metrics = s.reg
+	exportRunMetrics(s.reg, res, s.cfg.Geom, s.store, s.schemes)
+	return res, nil
+}
+
+// coreActor drives one core through the engine. It lazily applies the
+// cycles the engine skipped (Skip: bulk gap retirement or stall
+// accounting — both provably identical to ticking each cycle, because
+// the engine only skips cycles in which no controller changed state)
+// and then ticks the core at the processed cycle.
+type coreActor struct {
+	sys *System
+	i   int
+	// next is the next cycle this core should tick; the span between next
+	// and the engine's current cycle is applied in bulk via Skip.
+	next uint64
+}
+
+// catchUp applies every skipped cycle in [next, now).
+func (a *coreActor) catchUp(now uint64) {
+	if a.sys.finish[a.i] != 0 {
+		a.next = now
+		return
+	}
+	if now > a.next {
+		a.sys.cores[a.i].Skip(now - a.next)
+		a.next = now
+	}
+}
+
+// Advance ticks the core at a processed cycle. It reports no activity:
+// a core's externally visible effects (enqueues) land in controllers
+// that evaluate later in the same cycle and report their own.
+func (a *coreActor) Advance(now uint64) bool {
+	s := a.sys
+	if s.finish[a.i] != 0 {
+		return false
+	}
+	a.catchUp(now)
+	c := s.cores[a.i]
+	c.Tick(s.issue)
+	if c.Retired() >= s.cfg.InstrPerCore {
+		s.finish[a.i] = now + 1
+		s.running--
+	}
+	a.next = now + 1
+	return false
+}
+
+func (a *coreActor) NextEventAt(now uint64) uint64 {
+	if a.sys.finish[a.i] != 0 {
+		return engine.Horizon
+	}
+	return a.sys.cores[a.i].NextEventAt(now, a.sys.cfg.InstrPerCore)
+}
+
+// ctrlActor adapts a memory controller to the engine.
+type ctrlActor struct {
+	c *memctrl.Controller
+}
+
+func (a *ctrlActor) Advance(now uint64) bool       { return a.c.Tick(now) }
+func (a *ctrlActor) NextEventAt(now uint64) uint64 { return a.c.NextEventAt(now) }
+
+// crashActor injects the Section 7 power failure. It evaluates before
+// the cores each processed cycle (the classic loop checked the
+// threshold at the top of each iteration) and schedules its own checks
+// densely enough that the crossing cycle is always processed: with n
+// cores retiring at most one instruction per cycle each, the threshold
+// cannot arrive sooner than (remaining ÷ n) cycles out.
+type crashActor struct {
+	sys *System
+}
+
+func (a *crashActor) total(now uint64) uint64 {
+	// Cores catch up lazily; to observe the retirement count the classic
+	// loop would have seen at the top of this cycle, apply their skipped
+	// cycles first. This is idempotent with the cores' own catch-up.
+	var total uint64
+	for i, c := range a.sys.cores {
+		a.sys.coreActs[i].catchUp(now)
+		total += c.Retired()
+	}
+	return total
+}
+
+func (a *crashActor) Advance(now uint64) bool {
+	s := a.sys
+	if !s.crashPending {
+		return false
+	}
+	if a.total(now) < s.cfg.CrashAtInstr {
+		return false
+	}
+	s.crashPending = false
+	// Power failure: in-flight work drains (the devices finish their
+	// pulses), then volatile metadata is lost and the lazy conservative
+	// correction runs.
+	if err := s.drain(); err != nil {
+		s.err = err
+		return false
+	}
+	for _, sch := range s.schemes {
+		if cr, ok := sch.(core.CrashRecoverable); ok {
+			cr.CrashRecover()
+		}
+	}
+	snap := *s.stats
+	s.preCrash = &snap
+	// The cores were frozen while the controllers drained: resume them at
+	// the post-drain cycle with no skipped span to account for.
+	resume := s.clock.Now()
+	for _, ca := range s.coreActs {
+		ca.next = resume
+	}
+	return true
+}
+
+func (a *crashActor) NextEventAt(now uint64) uint64 {
+	s := a.sys
+	if !s.crashPending {
+		return engine.Horizon
+	}
+	total := a.total(now)
+	if total >= s.cfg.CrashAtInstr {
+		return now + 1
+	}
+	step := (s.cfg.CrashAtInstr - total) / uint64(len(s.cores))
+	if step == 0 {
+		step = 1
+	}
+	return now + step
+}

@@ -28,6 +28,8 @@
 package ladder
 
 import (
+	"context"
+
 	"ladder/internal/circuit"
 	"ladder/internal/core"
 	"ladder/internal/reram"
@@ -58,6 +60,12 @@ type (
 	GridReport = sim.GridReport
 	// BenchReport is the BENCH_*.json perf-snapshot document.
 	BenchReport = sim.BenchReport
+	// ProgressInfo is the periodic run-progress snapshot delivered to
+	// Config.Progress.
+	ProgressInfo = sim.ProgressInfo
+	// SchemeFactory builds one controller's private write-scheme instance;
+	// register one under a name with RegisterScheme.
+	SchemeFactory = core.SchemeFactory
 )
 
 // Scheme names.
@@ -84,6 +92,18 @@ func NewGridReport(g *Grid) (*GridReport, error) { return sim.NewGridReport(g) }
 
 // RunGrid simulates every workload under every scheme.
 func RunGrid(opts Options, schemes []string) (*Grid, error) { return sim.RunGrid(opts, schemes) }
+
+// RunGridCtx is RunGrid under a context: cancellation stops dispatching
+// further cells and surfaces as an error.
+func RunGridCtx(ctx context.Context, opts Options, schemes []string) (*Grid, error) {
+	return sim.RunGridCtx(ctx, opts, schemes)
+}
+
+// RegisterScheme adds a custom write scheme to the global registry; the
+// name becomes valid everywhere a built-in scheme name is (Config.Scheme,
+// RunGrid scheme lists, cmd/laddersim -scheme). Registering a duplicate
+// name panics. See core.RegisterScheme.
+func RegisterScheme(name string, factory SchemeFactory) { core.RegisterScheme(name, factory) }
 
 // Average appends an AVG row across workloads.
 func Average(rows []Row) Row { return sim.Average(rows) }
