@@ -22,6 +22,7 @@ import (
 
 	"ladder"
 	"ladder/internal/core"
+	"ladder/internal/introspect"
 	"ladder/internal/sim"
 	"ladder/internal/timing"
 )
@@ -40,8 +41,19 @@ func main() {
 		instr  = flag.Uint64("instr", 150_000, "instructions per core per run")
 		seed   = flag.Int64("seed", 42, "simulation seed")
 		report = flag.String("report", "", "write a structured JSON grid report (per-cell summaries + merged metrics) to this file")
+		http   = flag.String("http", "", "serve live introspection (pprof + grid progress) on this address, e.g. :6060")
 	)
 	flag.Parse()
+
+	if *http != "" {
+		srv, err := introspect.New(*http)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("introspection: http://%s/ (pprof under /debug/pprof/)\n", srv.Addr())
+		gridProgress = func(p ladder.GridProgress) { srv.Publish("grid", p) }
+	}
 
 	opts := ladder.Options{Instr: *instr, Seed: *seed}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -195,7 +207,12 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// gridProgress, when -http is set, publishes each finished grid cell to
+// the introspection server; mustGrid attaches it to every grid run.
+var gridProgress func(ladder.GridProgress)
+
 func mustGrid(opts ladder.Options, schemes []string) *ladder.Grid {
+	opts.Progress = gridProgress
 	grid, err := ladder.RunGridCtx(runCtx, opts, schemes)
 	if err != nil {
 		fail(err)

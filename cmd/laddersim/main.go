@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"ladder"
+	"ladder/internal/introspect"
 )
 
 func main() {
@@ -30,6 +31,11 @@ func main() {
 		showMet  = flag.Bool("metrics", false, "print the full metrics dump after the summary")
 		report   = flag.String("report", "", "write a structured JSON run report to this file (see docs/METRICS.md)")
 		bench    = flag.String("bench", "", "write a BENCH-compatible perf snapshot (JSON) to this file")
+
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of sampled transactions to this file (see docs/TRACING.md)")
+		traceSample  = flag.Int("trace-sample", 1, "with tracing on, record one in every N memory transactions")
+		traceSlowest = flag.Int("trace-slowest", 0, "print the N slowest traced writes after the run (enables tracing)")
+		httpAddr     = flag.String("http", "", "serve live introspection (pprof, metrics, progress, spans) on this address, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -39,7 +45,7 @@ func main() {
 		return
 	}
 
-	res, err := ladder.Run(ladder.Config{
+	cfg := ladder.Config{
 		Workload:     *workload,
 		Scheme:       *scheme,
 		InstrPerCore: *instr,
@@ -48,7 +54,40 @@ func main() {
 		ShrinkRange:  *shrink,
 		Verify:       *verify,
 		TraceFile:    *traceIn,
-	})
+	}
+	// -http implies tracing so the live /spans feed has content.
+	if *traceOut != "" || *traceSlowest > 0 || *httpAddr != "" {
+		cfg.TraceSample = *traceSample
+		cfg.TraceSlowest = *traceSlowest
+	}
+	var srv *introspect.Server
+	if *httpAddr != "" {
+		var err error
+		srv, err = introspect.New(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("introspection       http://%s/ (pprof under /debug/pprof/)\n", srv.Addr())
+		cfg.ProgressDetail = true
+		if cfg.ProgressEvery == 0 {
+			// Snapshot often enough that short runs are observable too; the
+			// default 5M-cycle period outlives many of them.
+			cfg.ProgressEvery = 250_000
+		}
+		cfg.Progress = func(p ladder.ProgressInfo) {
+			srv.Publish("progress", p)
+			if p.Metrics != nil {
+				srv.Publish("metrics", p.Metrics)
+			}
+			if p.Spans != nil {
+				srv.Publish("spans", p.Spans)
+			}
+		}
+	}
+
+	res, err := ladder.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "laddersim:", err)
 		os.Exit(1)
@@ -111,6 +150,25 @@ func main() {
 		}
 		fmt.Printf("bench written       %s\n", *bench)
 	}
+	if *traceOut != "" {
+		if err := writeJSONFile(*traceOut, res.Trace.WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			os.Exit(1)
+		}
+		sum := res.Trace.Summary()
+		fmt.Printf("trace written       %s (%d spans of %d transactions, load in Perfetto/chrome://tracing)\n",
+			*traceOut, sum.Completed, sum.Seen)
+	}
+	if *traceSlowest > 0 {
+		fmt.Println()
+		if err := res.Trace.WriteSlowestDigest(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			os.Exit(1)
+		}
+	}
+	// Leave the final state readable on the introspection server until the
+	// process exits (typically immediately; useful under a debugger).
+	srv.Publish("report", rep)
 }
 
 // writeJSONFile streams one of the report writers into a file.

@@ -121,6 +121,7 @@ func (s *Basic) Latency(req *WriteRequest) float64 {
 		return s.env.Tables.WorstNs
 	}
 	s.recordCounterDiff(req, c, false)
+	req.Clrs = c
 	return s.env.Tables.WL.Lookup(req.Loc.WL, req.Loc.BLHigh, c)
 }
 

@@ -134,6 +134,7 @@ func (s *Hybrid) Latency(req *WriteRequest) float64 {
 		return s.env.Tables.WorstNs
 	}
 	s.recordCounterDiff(req, c, s.shifting)
+	req.Clrs = c
 	return s.env.Tables.WL.Lookup(req.Loc.WL, req.Loc.BLHigh, c)
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -55,10 +56,20 @@ func RegisterScheme(name string, factory SchemeFactory) {
 
 // NewScheme instantiates a registered scheme by name. Each memory
 // controller needs its own instance (schemes own private metadata
-// caches), so callers invoke this once per channel.
+// caches), so callers invoke this once per channel. Lookup is exact
+// first, then case-insensitive, so CLI spellings like "ladder-hybrid"
+// resolve to the registered figure label.
 func NewScheme(name string, env *Env, cache MetaCacheConfig) (Scheme, error) {
 	schemeRegistry.RLock()
 	factory := schemeRegistry.factories[name]
+	if factory == nil {
+		for reg, f := range schemeRegistry.factories {
+			if strings.EqualFold(reg, name) {
+				factory = f
+				break
+			}
+		}
+	}
 	schemeRegistry.RUnlock()
 	if factory == nil {
 		known := RegisteredSchemes()
@@ -76,12 +87,20 @@ func RegisteredSchemes() []string {
 	return append([]string(nil), schemeRegistry.order...)
 }
 
-// SchemeRegistered reports whether a name resolves in the registry.
+// SchemeRegistered reports whether a name resolves in the registry
+// (under the same exact-then-case-insensitive rule as NewScheme).
 func SchemeRegistered(name string) bool {
 	schemeRegistry.RLock()
 	defer schemeRegistry.RUnlock()
-	_, ok := schemeRegistry.factories[name]
-	return ok
+	if _, ok := schemeRegistry.factories[name]; ok {
+		return true
+	}
+	for reg := range schemeRegistry.factories {
+		if strings.EqualFold(reg, name) {
+			return true
+		}
+	}
+	return false
 }
 
 // The built-in schemes register at init time, in evaluation order.

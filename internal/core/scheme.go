@@ -96,6 +96,13 @@ type WriteRequest struct {
 	// EnqueueCycle and DispatchCycle time the request's life.
 	EnqueueCycle  uint64
 	DispatchCycle uint64
+	// Clrs is the raw C_lrs count the scheme resolved at dispatch (-1
+	// when the scheme has no content knowledge). The tracing layer maps
+	// it to the timing-table content bucket.
+	Clrs int
+	// TraceRef is the transaction's tracing span reference (0 when the
+	// request was not sampled or tracing is off).
+	TraceRef uint64
 }
 
 // Env exposes the shared facilities schemes operate on.

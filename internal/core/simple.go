@@ -41,6 +41,7 @@ func NewOracle(env *Env) Scheme {
 		if err != nil {
 			return e.Tables.WorstNs
 		}
+		req.Clrs = c
 		return e.Tables.WL.Lookup(req.Loc.WL, req.Loc.BLHigh, c)
 	}}
 }

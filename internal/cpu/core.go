@@ -73,6 +73,10 @@ func (c *Core) Retired() uint64 { return c.retired }
 // StallCycles returns how many cycles the core spent unable to retire.
 func (c *Core) StallCycles() uint64 { return c.stallCycles }
 
+// Stalled reports whether the most recent Tick failed to retire (stall
+// attribution for the tracing layer).
+func (c *Core) Stalled() bool { return c.stalled }
+
 // Outstanding returns the current number of in-flight demand reads.
 func (c *Core) Outstanding() int { return c.outstanding }
 

@@ -1,0 +1,117 @@
+// Package introspect serves live run state over HTTP so long
+// experiments can be profiled and watched without killing them: Go's
+// pprof endpoints plus a small set of JSON documents the simulation
+// publishes as it runs (metrics-registry snapshots, run or grid
+// progress, recent transaction spans).
+//
+// The server never reaches into live simulation state — that would race
+// with the single-goroutine hot loop. Instead the simulation's progress
+// hook (which runs on the simulation goroutine) freezes snapshots and
+// hands them to Publish; handlers serve the last published copy. A
+// published value must therefore not be mutated afterwards; everything
+// the sim publishes (metrics.Snapshot, ProgressInfo, span slices) is
+// built fresh per hook invocation.
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+)
+
+// Server is one introspection endpoint bound to a TCP address.
+type Server struct {
+	mu   sync.Mutex
+	vals map[string]any
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// New starts a server on addr (e.g. ":6060"; use "127.0.0.1:0" for an
+// ephemeral test port). The listener is bound synchronously — a bad
+// address fails here, not later — and served in the background.
+func New(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("introspect: %w", err)
+	}
+	s := &Server{vals: make(map[string]any), ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.serveRoot)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.http = &http.Server{Handler: mux}
+	go s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server. Safe on a nil receiver, so callers can hold
+// an optional *Server and defer Close unconditionally.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+// Publish stores a named JSON document, replacing any previous value.
+// The document becomes GET /<name>. Callers must not mutate v after
+// publishing. Safe on a nil receiver (a no-op), so simulation hooks can
+// publish unconditionally.
+func (s *Server) Publish(name string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.vals[name] = v
+	s.mu.Unlock()
+}
+
+// serveRoot serves "/" as an index of available documents and any
+// published document by name.
+func (s *Server) serveRoot(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Path[1:]
+	if name == "" {
+		s.serveIndex(w)
+		return
+	}
+	s.mu.Lock()
+	v, ok := s.vals[name]
+	s.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort response body
+}
+
+// serveIndex lists the published documents and the pprof root.
+func (s *Server) serveIndex(w http.ResponseWriter) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.vals))
+	for n := range s.vals {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ladder introspection\n\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "  /%s\n", n)
+	}
+	fmt.Fprintf(w, "  /debug/pprof/\n")
+}

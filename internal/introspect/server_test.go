@@ -1,0 +1,96 @@
+package introspect
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func get(t *testing.T, srv *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.Addr() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestPublishRoundTrip(t *testing.T) {
+	srv := newTestServer(t)
+	srv.Publish("progress", map[string]any{"cycle": 123})
+
+	code, body := get(t, srv, "/progress")
+	if code != http.StatusOK {
+		t.Fatalf("GET /progress = %d, want 200", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("non-JSON body %q: %v", body, err)
+	}
+	if doc["cycle"] != float64(123) {
+		t.Errorf("round-tripped cycle = %v, want 123", doc["cycle"])
+	}
+
+	// Re-publishing replaces the value.
+	srv.Publish("progress", map[string]any{"cycle": 456})
+	_, body = get(t, srv, "/progress")
+	if !strings.Contains(body, "456") {
+		t.Errorf("re-published value not served: %s", body)
+	}
+}
+
+func TestIndexListsNames(t *testing.T) {
+	srv := newTestServer(t)
+	srv.Publish("metrics", 1)
+	srv.Publish("spans", 2)
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("GET / = %d, want 200", code)
+	}
+	for _, want := range []string{"metrics", "spans", "pprof"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestUnknownName404s(t *testing.T) {
+	srv := newTestServer(t)
+	if code, _ := get(t, srv, "/no-such-doc"); code != http.StatusNotFound {
+		t.Errorf("GET /no-such-doc = %d, want 404", code)
+	}
+}
+
+func TestPprofReachable(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Error("pprof index does not mention goroutine profile")
+	}
+}
+
+func TestNilServerIsSafe(t *testing.T) {
+	var srv *Server
+	srv.Publish("x", 1) // must not panic
+	srv.Close()         // must not panic
+}

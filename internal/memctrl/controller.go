@@ -23,6 +23,7 @@ import (
 	"ladder/internal/metrics"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
+	"ladder/internal/tracing"
 )
 
 // TicksPerNs is the simulation resolution: 4 ticks per nanosecond, i.e.
@@ -97,6 +98,8 @@ type ReadReq struct {
 	Target *core.WriteRequest
 	// EnqueueTick timestamps arrival.
 	EnqueueTick uint64
+	// TraceRef is the entry's tracing span reference (0 when unsampled).
+	TraceRef uint64
 }
 
 // busyOp is an operation occupying a bank.
@@ -147,6 +150,12 @@ type Controller struct {
 	mResetHist   *metrics.Histogram // per-data-RESET latency (ns)
 	mResetCells  *metrics.Grid      // RESETs per timing-table (WL,BL) cell
 	mMetaIssued  *metrics.Counter   // metadata/maintenance writes issued
+
+	// tr, when set, records sampled transaction-lifecycle spans (see
+	// package tracing). Nil keeps the hot path at one pointer test per
+	// enqueue/dispatch/complete.
+	tr        *tracing.Collector
+	trChannel int
 }
 
 // occupancySampleMask thins queue-occupancy sampling to one observation
@@ -178,6 +187,14 @@ func (c *Controller) Instrument(reg *metrics.Registry, channel int) {
 	c.mMetaIssued = reg.Counter(p + "meta_writes_issued")
 }
 
+// Trace attaches a span collector, attributing this controller's
+// transactions to channel `channel`. Call before the first Tick; a nil
+// collector leaves tracing off.
+func (c *Controller) Trace(tr *tracing.Collector, channel int) {
+	c.tr = tr
+	c.trChannel = channel
+}
+
 // SetRemap installs a location remapping applied to decoded data
 // addresses (wear-leveling integration).
 func (c *Controller) SetRemap(f func(reram.Location) reram.Location) { c.remap = f }
@@ -198,11 +215,16 @@ func (c *Controller) decode(line uint64) (reram.Location, error) {
 // leveling segment migration): it occupies a bank like a metadata write
 // but carries no scheme state.
 func (c *Controller) EnqueueMaintenance(loc reram.Location, now uint64) {
-	c.wbPending = append(c.wbPending, &core.WriteRequest{
+	req := &core.WriteRequest{
 		Loc:          loc,
 		IsMeta:       true,
 		EnqueueCycle: now,
-	})
+		Clrs:         -1,
+	}
+	if c.tr != nil {
+		req.TraceRef = c.tr.Begin(tracing.KindMetaWrite, c.trChannel, c.bankOf(loc), -1, 0, now)
+	}
+	c.wbPending = append(c.wbPending, req)
 }
 
 // NewController builds a controller over the shared environment. The
@@ -252,7 +274,11 @@ func (c *Controller) EnqueueRead(coreID int, line uint64, now uint64) bool {
 	if err != nil {
 		return false
 	}
-	c.rdq = append(c.rdq, &ReadReq{Kind: ReadData, Line: line, Loc: loc, Core: coreID, EnqueueTick: now})
+	r := &ReadReq{Kind: ReadData, Line: line, Loc: loc, Core: coreID, EnqueueTick: now}
+	if c.tr != nil {
+		r.TraceRef = c.tr.Begin(tracing.KindDataRead, c.trChannel, c.bankOf(loc), coreID, line, now)
+	}
+	c.rdq = append(c.rdq, r)
 	c.env.Stats.DataReads++
 	return true
 }
@@ -272,7 +298,10 @@ func (c *Controller) EnqueueWrite(line uint64, data bits.Line, now uint64) bool 
 	if err := c.env.Store.EnsureRow(line); err != nil {
 		return false
 	}
-	req := &core.WriteRequest{Line: line, Loc: loc, Data: data, EnqueueCycle: now}
+	req := &core.WriteRequest{Line: line, Loc: loc, Data: data, EnqueueCycle: now, Clrs: -1}
+	if c.tr != nil {
+		req.TraceRef = c.tr.Begin(tracing.KindDataWrite, c.trChannel, c.bankOf(loc), -1, line, now)
+	}
 	aux, wbs := c.scheme.Enqueue(req)
 	c.wrq = append(c.wrq, req)
 	c.env.Stats.DataWrites++
@@ -291,6 +320,13 @@ func (c *Controller) routeAux(aux []core.AuxRead, now uint64) {
 		r := &ReadReq{Kind: kind, Line: a.Key, Loc: a.Loc, EnqueueTick: now}
 		if kind == ReadSMB {
 			r.Target = c.findWrite(a.Key)
+		}
+		if c.tr != nil {
+			tk := tracing.KindSMBRead
+			if kind == ReadMeta {
+				tk = tracing.KindMetaRead
+			}
+			r.TraceRef = c.tr.Begin(tk, c.trChannel, c.bankOf(a.Loc), -1, a.Key, now)
 		}
 		c.auxPending = append(c.auxPending, r)
 	}
@@ -311,13 +347,18 @@ func (c *Controller) findWrite(line uint64) *core.WriteRequest {
 // entries.
 func (c *Controller) routeWritebacks(wbs []core.MetaWriteback, now uint64) {
 	for _, wb := range wbs {
-		c.wbPending = append(c.wbPending, &core.WriteRequest{
+		req := &core.WriteRequest{
 			Line:         wb.Key,
 			Loc:          wb.Loc,
 			IsMeta:       true,
 			MetaKey:      wb.Key,
 			EnqueueCycle: now,
-		})
+			Clrs:         -1,
+		}
+		if c.tr != nil {
+			req.TraceRef = c.tr.Begin(tracing.KindMetaWrite, c.trChannel, c.bankOf(wb.Loc), -1, wb.Key, now)
+		}
+		c.wbPending = append(c.wbPending, req)
 	}
 }
 
@@ -391,6 +432,9 @@ func (c *Controller) completeFinished(now uint64) bool {
 
 // finishRead delivers a completed read.
 func (c *Controller) finishRead(r *ReadReq, now uint64) {
+	if c.tr != nil && r.TraceRef != 0 {
+		c.tr.End(r.TraceRef, now)
+	}
 	c.meter.Read()
 	switch r.Kind {
 	case ReadData:
@@ -415,6 +459,9 @@ func (c *Controller) finishRead(r *ReadReq, now uint64) {
 // the scheme update its metadata.
 func (c *Controller) finishWrite(op busyOp, now uint64) {
 	req := op.write
+	if c.tr != nil && req.TraceRef != 0 {
+		c.tr.End(req.TraceRef, now)
+	}
 	if req.IsMeta {
 		// Metadata content was persisted to the backing image at
 		// eviction; here the device pays the array write.
@@ -524,6 +571,9 @@ func (c *Controller) issueReads(now uint64, auxOnly bool) bool {
 		}
 		dur := uint64(c.cfg.TRCD + c.cfg.TCL + c.cfg.TBurst)
 		c.bankBusy[bank] = now + dur
+		if c.tr != nil && r.TraceRef != 0 {
+			c.tr.Dispatch(r.TraceRef, now, float64(dur)/TicksPerNs, -1, -1, -1, c.writeMode)
+		}
 		c.inflight = append(c.inflight, busyOp{finish: now + dur, read: r})
 		c.rdq = append(c.rdq[:i], c.rdq[i+1:]...)
 		issued = true
@@ -565,6 +615,15 @@ func (c *Controller) issueWrites(now uint64) bool {
 		}
 		dur := uint64(c.cfg.TRCD+c.cfg.TBurst) + uint64(math.Ceil(latNs*TicksPerNs))
 		req.DispatchCycle = now
+		if c.tr != nil && req.TraceRef != 0 {
+			t := c.env.Tables.WL
+			clrs := -1
+			if req.Clrs >= 0 {
+				clrs = t.BucketOf(req.Clrs)
+			}
+			c.tr.Dispatch(req.TraceRef, now, latNs,
+				t.BucketOf(req.Loc.WL), t.BucketOf(req.Loc.BLHigh), clrs, c.writeMode)
+		}
 		c.bankBusy[bank] = now + dur
 		c.inflight = append(c.inflight, busyOp{finish: now + dur, write: req, latNs: latNs})
 		c.wrq = append(c.wrq[:i], c.wrq[i+1:]...)

@@ -299,3 +299,107 @@ func TestBoundsHelpers(t *testing.T) {
 		t.Fatalf("exponential bounds: %v", exp)
 	}
 }
+
+// TestRegistryMergeDisjoint merges two registries with no instruments in
+// common: every instrument of each kind must appear in the receiver with
+// its values intact (grid-report aggregation relies on this when cells
+// instrument different subsystems).
+func TestRegistryMergeDisjoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("left.c").Add(2)
+	r.Gauge("left.g").Observe(1)
+
+	o := NewRegistry()
+	o.Counter("right.c").Add(7)
+	o.Gauge("right.g").Observe(9)
+	o.Histogram("right.h", LinearBounds(1, 1, 4)).Observe(2.5)
+	o.Grid("right.m", 2, 2).Inc(1, 1)
+	if err := r.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot()
+	if s.Counters["left.c"] != 2 || s.Counters["right.c"] != 7 {
+		t.Fatalf("disjoint counters: %+v", s.Counters)
+	}
+	if s.Gauges["right.g"].Last != 9 || s.Gauges["right.g"].Samples != 1 {
+		t.Fatalf("adopted gauge: %+v", s.Gauges["right.g"])
+	}
+	if s.Histograms["right.h"].Count != 1 || s.Histograms["right.h"].Min != 2.5 {
+		t.Fatalf("adopted histogram: %+v", s.Histograms["right.h"])
+	}
+	if s.Grids["right.m"].Counts[1][1] != 1 {
+		t.Fatalf("adopted grid: %+v", s.Grids["right.m"])
+	}
+}
+
+// TestRegistryMergeEmptyHistogram pins both directions of the
+// empty-histogram edge case at the registry level: an instrument that
+// was created but never observed must neither poison the receiver's
+// stats nor block adoption of the source's.
+func TestRegistryMergeEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", LinearBounds(10, 10, 5)).Observe(15)
+
+	// Source has the histogram declared with zero observations.
+	o := NewRegistry()
+	o.Histogram("h", LinearBounds(10, 10, 5))
+	if err := r.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	h := r.Snapshot().Histograms["h"]
+	if h.Count != 1 || h.Min != 15 || h.Max != 15 {
+		t.Fatalf("empty source disturbed stats: %+v", h)
+	}
+
+	// Receiver empty, source populated: stats adopt wholesale.
+	e := NewRegistry()
+	e.Histogram("h", LinearBounds(10, 10, 5))
+	if err := e.Merge(r); err != nil {
+		t.Fatal(err)
+	}
+	h = e.Snapshot().Histograms["h"]
+	if h.Count != 1 || h.Min != 15 || h.Mean != 15 {
+		t.Fatalf("empty receiver did not adopt: %+v", h)
+	}
+}
+
+// TestRegistryMergeZeroSampleGauge checks that a declared-but-unobserved
+// gauge merges as a no-op in either direction instead of dragging
+// min/max toward zero.
+func TestRegistryMergeZeroSampleGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g").Observe(5)
+	r.Gauge("g").Observe(3)
+
+	o := NewRegistry()
+	o.Gauge("g") // zero samples
+	if err := r.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	g := r.Snapshot().Gauges["g"]
+	if g.Samples != 2 || g.Min != 3 || g.Max != 5 || g.Mean != 4 {
+		t.Fatalf("zero-sample source disturbed gauge: %+v", g)
+	}
+
+	e := NewRegistry()
+	e.Gauge("g")
+	if err := e.Merge(r); err != nil {
+		t.Fatal(err)
+	}
+	g = e.Snapshot().Gauges["g"]
+	if g.Samples != 2 || g.Min != 3 || g.Max != 5 {
+		t.Fatalf("zero-sample receiver did not adopt: %+v", g)
+	}
+}
+
+// TestRegistryMergeNil pins the nil-registry contract.
+func TestRegistryMergeNil(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Merge(nil); err == nil {
+		t.Fatal("merging a nil registry should fail")
+	}
+	var n *Registry
+	if err := n.Merge(r); err == nil {
+		t.Fatal("merging into a nil registry should fail")
+	}
+}

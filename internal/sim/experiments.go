@@ -22,6 +22,21 @@ type Options struct {
 	Tables *timing.TableSet
 	// Workloads restricts the workload list (nil = all sixteen).
 	Workloads []string
+	// Progress, when set, is invoked after each grid cell finishes
+	// (successfully or not). Calls are serialized under the grid's result
+	// lock, so the callback needs no synchronization of its own but must
+	// stay cheap.
+	Progress func(GridProgress)
+}
+
+// GridProgress reports one finished cell of a running experiment grid.
+type GridProgress struct {
+	// Done cells out of Total have finished (including failures).
+	Done, Total int
+	// Workload and Scheme identify the cell that just finished.
+	Workload, Scheme string
+	// Failed marks a cell whose run returned an error.
+	Failed bool
 }
 
 func (o Options) workloads() []string {
@@ -87,6 +102,7 @@ func RunGridCtx(ctx context.Context, opts Options, schemes []string) (*Grid, err
 	var (
 		mu      sync.Mutex
 		runErrs []error
+		done    int
 		wg      sync.WaitGroup
 	)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -101,6 +117,10 @@ func RunGridCtx(ctx context.Context, opts Options, schemes []string) (*Grid, err
 			res, err := Run(opts.config(c.w, c.s))
 			mu.Lock()
 			defer mu.Unlock()
+			done++
+			if opts.Progress != nil {
+				opts.Progress(GridProgress{Done: done, Total: len(cells), Workload: c.w, Scheme: c.s, Failed: err != nil})
+			}
 			if err != nil {
 				// Collect every cell's failure (cells are independent, so
 				// one bad workload name should not mask another's error);

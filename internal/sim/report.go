@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"ladder/internal/metrics"
+	"ladder/internal/tracing"
 )
 
 // ReportSchema versions the run-report JSON layout. Consumers should
@@ -67,6 +68,10 @@ type Report struct {
 	// Metrics is the full instrument snapshot (every name cataloged in
 	// docs/METRICS.md).
 	Metrics metrics.Snapshot `json:"metrics"`
+
+	// Trace summarizes the run's transaction tracing (sampling rate,
+	// span accounting, slowest writes); present only on traced runs.
+	Trace *tracing.Summary `json:"trace,omitempty"`
 }
 
 // NewReport freezes a Result into its report form.
@@ -92,6 +97,10 @@ func NewReport(res *Result) *Report {
 		Metrics:             snap,
 	}
 	r.ResetLatency = summarizeResetLatency(snap)
+	if res.Trace != nil {
+		sum := res.Trace.Summary()
+		r.Trace = &sum
+	}
 	return r
 }
 

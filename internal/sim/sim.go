@@ -21,6 +21,7 @@ import (
 	"ladder/internal/metrics"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
+	"ladder/internal/tracing"
 )
 
 // Scheme names accepted by Config.Scheme, aliased from the core registry
@@ -70,6 +71,17 @@ type ProgressInfo struct {
 	Cycle    uint64
 	Cores    []CoreProgress
 	Channels []ChannelProgress
+	// Wall is the host time elapsed since the run started.
+	Wall time.Duration
+	// InstrRate is the simulator's throughput: instructions retired per
+	// host second since the run started.
+	InstrRate float64
+	// Metrics and Spans are populated only when Config.ProgressDetail is
+	// set: a frozen instrument snapshot and the most recent traced spans
+	// (nil when tracing is off). Both are rebuilt per snapshot, so
+	// consumers may retain them (the introspection server does).
+	Metrics *metrics.Snapshot
+	Spans   []tracing.Span
 }
 
 // Config describes one simulation run.
@@ -143,6 +155,20 @@ type Config struct {
 	// ProgressEvery is the progress-callback period in cycles (0 = every
 	// 5M cycles, i.e. 1.25 simulated milliseconds).
 	ProgressEvery uint64
+	// ProgressDetail additionally populates ProgressInfo.Metrics and
+	// ProgressInfo.Spans on every snapshot (the introspection server's
+	// live documents). Off by default: freezing the registry per snapshot
+	// is not free.
+	ProgressDetail bool
+	// TraceSample enables transaction-lifecycle tracing, recording every
+	// Nth memory transaction as a span (see package tracing). 0 disables
+	// tracing; 1 records everything the ring retains.
+	TraceSample int
+	// TraceCapacity sizes the span ring buffer (0 = tracing.DefaultCapacity).
+	TraceCapacity int
+	// TraceSlowest sizes the slowest-writes digest (0 =
+	// tracing.DefaultSlowestK).
+	TraceSlowest int
 }
 
 func (c *Config) applyDefaults() error {
@@ -222,6 +248,11 @@ type Result struct {
 	// counters; see docs/METRICS.md. Always non-nil from Run. Excluded
 	// from JSON: reports serialize its Snapshot instead (see Report).
 	Metrics *metrics.Registry `json:"-"`
+	// Trace is the run's span collector, non-nil only when
+	// Config.TraceSample > 0. Excluded from JSON: reports embed its
+	// Summary, and the Chrome trace is written separately
+	// (Trace.WriteChromeTrace).
+	Trace *tracing.Collector `json:"-"`
 }
 
 // subtractStats returns after-minus-before for the additive counters used

@@ -16,6 +16,7 @@ import (
 	"ladder/internal/reram"
 	"ladder/internal/timing"
 	"ladder/internal/trace"
+	"ladder/internal/tracing"
 	"ladder/internal/wear"
 )
 
@@ -46,6 +47,7 @@ type System struct {
 	lineRemap func(uint64) uint64
 	expected  map[uint64]bits.Line
 	started   time.Time
+	tr        *tracing.Collector
 
 	eng      *engine.Engine
 	clock    *engine.Clock
@@ -96,6 +98,13 @@ func newSystem(cfg Config) (*System, error) {
 	s.meter, err = energy.NewMeter(cfg.Energy)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.TraceSample > 0 {
+		s.tr = tracing.NewCollector(tracing.Config{
+			SampleEvery: cfg.TraceSample,
+			Capacity:    cfg.TraceCapacity,
+			SlowestK:    cfg.TraceSlowest,
+		})
 	}
 
 	if err := s.buildCores(profiles); err != nil {
@@ -184,6 +193,9 @@ func (s *System) buildControllers() error {
 			return err
 		}
 		s.ctrls[ch].Instrument(s.reg, ch)
+		if s.tr != nil {
+			s.ctrls[ch].Trace(s.tr, ch)
+		}
 	}
 	return nil
 }
@@ -281,15 +293,30 @@ func (s *System) progressHook() func(uint64) {
 	}
 	return func(now uint64) {
 		info := ProgressInfo{Cycle: now, Cores: make([]CoreProgress, len(s.cores)), Channels: make([]ChannelProgress, len(s.ctrls))}
+		var retired uint64
 		for i, c := range s.cores {
 			info.Cores[i] = CoreProgress{Retired: c.Retired(), Outstanding: c.Outstanding()}
+			retired += c.Retired()
 		}
 		for ch, c := range s.ctrls {
 			info.Channels[ch] = ChannelProgress{ReadQueue: c.ReadQueueLen(), WriteQueue: c.WriteQueueLen(), WriteMode: c.InWriteMode()}
 		}
+		info.Wall = time.Since(s.started)
+		if sec := info.Wall.Seconds(); sec > 0 {
+			info.InstrRate = float64(retired) / sec
+		}
+		if s.cfg.ProgressDetail {
+			snap := s.reg.Snapshot()
+			info.Metrics = &snap
+			info.Spans = s.tr.Recent(progressSpanCount)
+		}
 		emit(info)
 	}
 }
+
+// progressSpanCount bounds the recent-span slice a detailed progress
+// snapshot carries (the introspection server's /spans document).
+const progressSpanCount = 64
 
 // printProgress is the LADDER_DEBUG default progress sink.
 func printProgress(p ProgressInfo) {
@@ -300,7 +327,7 @@ func printProgress(p ProgressInfo) {
 	for ch, c := range p.Channels {
 		fmt.Printf(" | ch%d rdq=%d wrq=%d wm=%v", ch, c.ReadQueue, c.WriteQueue, c.WriteMode)
 	}
-	fmt.Println()
+	fmt.Printf(" | wall=%.1fs %.0f instr/s\n", p.Wall.Seconds(), p.InstrRate)
 }
 
 // warm is the warm phase: it prefills resident data into the store so
@@ -468,6 +495,7 @@ func (s *System) collect() (*Result, error) {
 	}
 	res.WallClock = time.Since(s.started)
 	res.Metrics = s.reg
+	res.Trace = s.tr
 	exportRunMetrics(s.reg, res, s.cfg.Geom, s.store, s.schemes)
 	return res, nil
 }
@@ -483,6 +511,11 @@ type coreActor struct {
 	// next is the next cycle this core should tick; the span between next
 	// and the engine's current cycle is applied in bulk via Skip.
 	next uint64
+	// stalling/stallRef track the open core-stall span (tracing runs
+	// only): stalling marks an episode in progress, stallRef its sampled
+	// span reference (0 when the episode was not sampled).
+	stalling bool
+	stallRef uint64
 }
 
 // catchUp applies every skipped cycle in [next, now).
@@ -508,12 +541,33 @@ func (a *coreActor) Advance(now uint64) bool {
 	a.catchUp(now)
 	c := s.cores[a.i]
 	c.Tick(s.issue)
+	if s.tr != nil {
+		a.traceStall(c.Stalled(), now)
+	}
 	if c.Retired() >= s.cfg.InstrPerCore {
 		s.finish[a.i] = now + 1
 		s.running--
 	}
 	a.next = now + 1
 	return false
+}
+
+// traceStall opens a core-stall span when the core transitions into a
+// stall and closes it when the core retires again, attributing blocked
+// cycles in the trace timeline. Episode boundaries are observed at
+// processed cycles — exact, because a stalled core's state only changes
+// at cycles the engine processes.
+func (a *coreActor) traceStall(stalled bool, now uint64) {
+	if stalled == a.stalling {
+		return
+	}
+	if stalled {
+		a.stallRef = a.sys.tr.Begin(tracing.KindCoreStall, -1, -1, a.i, 0, now)
+	} else if a.stallRef != 0 {
+		a.sys.tr.End(a.stallRef, now)
+		a.stallRef = 0
+	}
+	a.stalling = stalled
 }
 
 func (a *coreActor) NextEventAt(now uint64) uint64 {

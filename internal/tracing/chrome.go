@@ -1,0 +1,159 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ticksPerUs converts engine cycles to the microseconds Chrome trace
+// timestamps use: the simulation clock runs at 4 GHz (4 ticks per
+// nanosecond, memctrl.TicksPerNs), so one microsecond is 4000 ticks.
+const ticksPerUs = 4000.0
+
+// corePID offsets core tracks away from channel tracks in the trace's
+// process-ID space (channels are pid 0..N, cores pid 1000+i).
+const corePID = 1000
+
+// chromeEvent is one trace-event object. The field set follows the
+// Chrome trace-event format's "X" (complete) and "M" (metadata) phases,
+// the subset Perfetto and chrome://tracing both accept.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Cat   string         `json:"cat,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of a trace file.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// track maps a span onto its (pid, tid) track: one process per channel
+// with one thread per bank, and one process per core for stall spans.
+func (s *Span) track() (pid, tid int) {
+	if s.Kind == KindCoreStall {
+		return corePID + int(s.Core), 0
+	}
+	return int(s.Channel), int(s.Bank)
+}
+
+// WriteChromeTrace exports every completed resident span as Chrome
+// trace-event JSON. Each memory transaction renders as up to two
+// complete slices on its channel/bank track — "queued" covering queue
+// wait and the kind label covering dispatch to completion, carrying the
+// resolved timing-table cell, programmed latency and drain flag as args
+// — and each stall episode as one slice on its core track. Open spans
+// are skipped: an export mid-run shows only finished work.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	if c == nil {
+		return json.NewEncoder(w).Encode(doc)
+	}
+
+	type trackKey struct{ pid, tid int }
+	tracks := map[trackKey]bool{}
+	c.eachDone(func(s *Span) {
+		pid, tid := s.track()
+		tracks[trackKey{pid, tid}] = true
+		ts := float64(s.Enqueue) / ticksPerUs
+		if q := s.QueueTicks(); q > 0 && s.Kind != KindCoreStall {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "queued", Phase: "X", Cat: "queue",
+				PID: pid, TID: tid, TS: ts, Dur: float64(q) / ticksPerUs,
+				Args: map[string]any{"line": s.Line, "span": s.ID},
+			})
+		}
+		args := map[string]any{"line": s.Line, "span": s.ID}
+		if s.IsWrite() {
+			args["lat_ns"] = s.LatNs
+			args["wl_bucket"] = s.WLBucket
+			args["bl_bucket"] = s.BLBucket
+			args["clrs_bucket"] = s.ClrsBucket
+			args["drain"] = s.Drain
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Kind.String(), Phase: "X", Cat: "service",
+			PID: pid, TID: tid,
+			TS:   float64(s.Dispatch) / ticksPerUs,
+			Dur:  float64(s.ServiceTicks()) / ticksPerUs,
+			Args: args,
+		})
+	})
+
+	// Name the tracks so Perfetto shows "channel 0 / bank 3" instead of
+	// bare pids. Metadata order is irrelevant to viewers but sorted here
+	// so exports are byte-stable.
+	keys := make([]trackKey, 0, len(tracks))
+	for k := range tracks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	meta := make([]chromeEvent, 0, 2*len(keys))
+	seenPID := map[int]bool{}
+	for _, k := range keys {
+		if !seenPID[k.pid] {
+			seenPID[k.pid] = true
+			name := fmt.Sprintf("channel %d", k.pid)
+			if k.pid >= corePID {
+				name = fmt.Sprintf("core %d", k.pid-corePID)
+			}
+			meta = append(meta, chromeEvent{
+				Name: "process_name", Phase: "M", PID: k.pid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		name := fmt.Sprintf("bank %d", k.tid)
+		if k.pid >= corePID {
+			name = "stalls"
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: k.pid, TID: k.tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	doc.TraceEvents = append(meta, doc.TraceEvents...)
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// WriteSlowestDigest renders the slowest traced writes for humans: the
+// "why was this write slow" answer — queue wait vs pulse split, the
+// timing-table cell that priced it, and whether it dispatched during a
+// write drain.
+func (c *Collector) WriteSlowestDigest(w io.Writer) error {
+	slow := c.Slowest()
+	if _, err := fmt.Fprintf(w, "slowest traced writes (%d of %d sampled, 1-in-%d sampling)\n",
+		len(slow), c.Sampled(), max(c.SampleEvery(), 1)); err != nil {
+		return err
+	}
+	for i, s := range slow {
+		drain := ""
+		if s.Drain {
+			drain = " drain"
+		}
+		kind := ""
+		if s.Kind == KindMetaWrite {
+			kind = " [meta]"
+		}
+		if _, err := fmt.Fprintf(w,
+			"  #%-2d line %#x ch%d bank%d: %d ticks total (queue %d, service %d = %.1f ns pulse) cell %s%s%s enq@%d\n",
+			i+1, s.Line, s.Channel, s.Bank,
+			s.TotalTicks(), s.QueueTicks(), s.ServiceTicks(), s.LatNs,
+			s.cell(), drain, kind, s.Enqueue); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// lifecycle records one full transaction through the collector.
+func lifecycle(c *Collector, kind Kind, enq, disp, done uint64) uint64 {
+	ref := c.Begin(kind, 0, 1, -1, 42, enq)
+	c.Dispatch(ref, disp, 100, 2, 3, 4, true)
+	c.End(ref, done)
+	return ref
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, Capacity: 8})
+	ref := lifecycle(c, KindDataWrite, 10, 30, 470)
+	if ref == 0 {
+		t.Fatal("Begin returned 0 with SampleEvery=1")
+	}
+	spans := c.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("Spans() = %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.QueueTicks() != 20 || s.ServiceTicks() != 440 || s.TotalTicks() != 460 {
+		t.Errorf("queue/service/total = %d/%d/%d, want 20/440/460",
+			s.QueueTicks(), s.ServiceTicks(), s.TotalTicks())
+	}
+	if s.LatNs != 100 || s.WLBucket != 2 || s.BLBucket != 3 || s.ClrsBucket != 4 || !s.Drain {
+		t.Errorf("dispatch parameters not recorded: %+v", s)
+	}
+	if got := c.Summary(); got.Seen != 1 || got.Sampled != 1 || got.Completed != 1 || got.Evicted != 0 {
+		t.Errorf("summary = %+v", got)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 4, Capacity: 64})
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if ref := c.Begin(KindDataRead, 0, 0, 0, uint64(i), uint64(i)); ref != 0 {
+			sampled++
+		}
+	}
+	if sampled != 25 {
+		t.Errorf("sampled %d of 100 with 1-in-4 sampling, want 25", sampled)
+	}
+	if c.Seen() != 100 || c.Sampled() != 25 {
+		t.Errorf("seen/sampled = %d/%d, want 100/25", c.Seen(), c.Sampled())
+	}
+}
+
+// TestRingEviction checks that a wrapped ring drops updates addressed to
+// evicted spans instead of corrupting the slot's new tenant.
+func TestRingEviction(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, Capacity: 4})
+	first := c.Begin(KindDataWrite, 0, 0, -1, 1, 1)
+	// Wrap the ring completely: the first span's slot is re-tenanted.
+	for i := 0; i < 4; i++ {
+		lifecycle(c, KindDataWrite, 100, 110, 120)
+	}
+	if c.Evicted() == 0 {
+		t.Fatal("full wrap evicted nothing")
+	}
+	// A stale End must not complete (or corrupt) the new tenant.
+	before := c.Completed()
+	c.End(first, 999)
+	if c.Completed() != before {
+		t.Error("End on an evicted reference was not dropped")
+	}
+	for _, s := range c.Spans() {
+		if s.Complete == 999 {
+			t.Error("stale End mutated a re-tenanted slot")
+		}
+	}
+}
+
+func TestSlowestDigestRanksWritesOnly(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, Capacity: 64, SlowestK: 2})
+	lifecycle(c, KindDataWrite, 0, 10, 100)   // total 100
+	lifecycle(c, KindDataWrite, 0, 10, 500)   // total 500
+	lifecycle(c, KindMetaWrite, 0, 10, 300)   // total 300
+	lifecycle(c, KindDataRead, 0, 10, 10_000) // reads never rank
+	slow := c.Slowest()
+	if len(slow) != 2 {
+		t.Fatalf("Slowest() = %d spans, want 2", len(slow))
+	}
+	if slow[0].TotalTicks() != 500 || slow[1].TotalTicks() != 300 {
+		t.Errorf("slowest order = %d, %d; want 500, 300", slow[0].TotalTicks(), slow[1].TotalTicks())
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSlowestDigest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "slowest traced writes") {
+		t.Errorf("digest missing header:\n%s", buf.String())
+	}
+}
+
+func TestOpenSpansExcluded(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, Capacity: 8})
+	c.Begin(KindDataWrite, 0, 0, -1, 1, 1) // never completed
+	lifecycle(c, KindDataWrite, 2, 3, 4)
+	if got := len(c.Spans()); got != 1 {
+		t.Errorf("Spans() = %d, want 1 (open span leaked)", got)
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	if ref := c.Begin(KindDataWrite, 0, 0, 0, 0, 0); ref != 0 {
+		t.Error("nil Begin returned a reference")
+	}
+	c.Dispatch(1, 0, 0, 0, 0, 0, false)
+	c.End(1, 0)
+	if c.Spans() != nil || c.Recent(5) != nil || c.Slowest() != nil {
+		t.Error("nil accessors returned data")
+	}
+	if s := c.Summary(); s.Seen != 0 {
+		t.Error("nil Summary non-zero")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil chrome trace is not valid JSON: %v", err)
+	}
+}
+
+// TestChromeTraceShape validates the trace-event JSON a viewer consumes:
+// an object with a traceEvents array holding metadata and X-phase slices
+// on the expected tracks.
+func TestChromeTraceShape(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, Capacity: 64})
+	lifecycle(c, KindDataWrite, 4000, 8000, 16000) // 1us queued, 2us service
+	ref := c.Begin(KindCoreStall, -1, -1, 3, 0, 0)
+	c.End(ref, 4000)
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name]++
+		switch ev.Name {
+		case "queued":
+			if ev.TS != 1 || ev.Dur != 1 {
+				t.Errorf("queued slice ts=%v dur=%v, want 1/1 us", ev.TS, ev.Dur)
+			}
+		case "write":
+			if ev.TS != 2 || ev.Dur != 2 {
+				t.Errorf("write slice ts=%v dur=%v, want 2/2 us", ev.TS, ev.Dur)
+			}
+			if ev.Args["lat_ns"] == nil {
+				t.Error("write slice missing lat_ns arg")
+			}
+		case "stall":
+			if ev.PID != corePID+3 {
+				t.Errorf("stall pid = %d, want %d", ev.PID, corePID+3)
+			}
+		}
+	}
+	for _, want := range []string{"queued", "write", "stall", "process_name", "thread_name"} {
+		if byName[want] == 0 {
+			t.Errorf("trace has no %q event", want)
+		}
+	}
+}
+
+func TestRecent(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, Capacity: 64})
+	for i := uint64(0); i < 10; i++ {
+		lifecycle(c, KindDataWrite, i, i+1, i+2)
+	}
+	r := c.Recent(3)
+	if len(r) != 3 {
+		t.Fatalf("Recent(3) = %d spans", len(r))
+	}
+	if r[0].Enqueue != 7 || r[2].Enqueue != 9 {
+		t.Errorf("Recent returned wrong window: enqueues %d..%d, want 7..9", r[0].Enqueue, r[2].Enqueue)
+	}
+}
+
+func TestKindJSONLabels(t *testing.T) {
+	b, err := json.Marshal(KindSMBRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"smb-read"` {
+		t.Errorf("KindSMBRead marshals as %s", b)
+	}
+}

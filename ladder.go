@@ -36,6 +36,7 @@ import (
 	"ladder/internal/sim"
 	"ladder/internal/timing"
 	"ladder/internal/trace"
+	"ladder/internal/tracing"
 )
 
 // Re-exported simulation types.
@@ -63,9 +64,20 @@ type (
 	// ProgressInfo is the periodic run-progress snapshot delivered to
 	// Config.Progress.
 	ProgressInfo = sim.ProgressInfo
+	// GridProgress is the per-cell completion notice delivered to
+	// Options.Progress during RunGrid.
+	GridProgress = sim.GridProgress
 	// SchemeFactory builds one controller's private write-scheme instance;
 	// register one under a name with RegisterScheme.
 	SchemeFactory = core.SchemeFactory
+	// TraceCollector records transaction-lifecycle spans when
+	// Config.TraceSample > 0 (Result.Trace); export with WriteChromeTrace
+	// or WriteSlowestDigest. See docs/TRACING.md.
+	TraceCollector = tracing.Collector
+	// TraceSpan is one recorded transaction lifecycle.
+	TraceSpan = tracing.Span
+	// TraceSummary is the report-embedded accounting of a traced run.
+	TraceSummary = tracing.Summary
 )
 
 // Scheme names.
