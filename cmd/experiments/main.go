@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"ladder"
 	"ladder/internal/core"
@@ -37,20 +38,39 @@ func main() {
 	defer stop()
 	runCtx = ctx
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2 fig4 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table4 storage lifetime ablation wear vwlmode crash cachesize lowrows fnw all")
+		exp    = flag.String("exp", "all", "experiment: fig2 fig4 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table4 storage lifetime ablation wear vwlmode crash cachesize lowrows fnw reliability all")
 		instr  = flag.Uint64("instr", 150_000, "instructions per core per run")
 		seed   = flag.Int64("seed", 42, "simulation seed")
 		report = flag.String("report", "", "write a structured JSON grid report (per-cell summaries + merged metrics) to this file")
 		http   = flag.String("http", "", "serve live introspection (pprof + grid progress) on this address, e.g. :6060")
+
+		faultRate = flag.Float64("fault-rate", 0, "override the reliability sweep's fault-rate list with this single rate, in (0, 1); see docs/FAULTS.md")
+		faultSeed = flag.Int64("fault-seed", 0, "fault-injector PRNG seed for reliability runs (0 = reuse -seed)")
+		retryMax  = flag.Int("retry-max", 3, "program-and-verify reissue cap per write in reliability runs")
+		spareRows = flag.Int("spare-rows", 32, "per-bank spare-row pool in reliability runs")
 	)
 	flag.Parse()
+	switch {
+	case *faultRate < 0 || *faultRate >= 1:
+		fail(fmt.Errorf("-fault-rate must be in [0, 1), got %g", *faultRate))
+	case *retryMax < 1:
+		fail(fmt.Errorf("-retry-max must be >= 1, got %d", *retryMax))
+	case *spareRows < 1:
+		fail(fmt.Errorf("-spare-rows must be >= 1, got %d", *spareRows))
+	}
 
 	if *http != "" {
 		srv, err := introspect.New(*http)
 		if err != nil {
 			fail(err)
 		}
-		defer srv.Close()
+		// Graceful drain bounded by a grace period; an interrupt
+		// (canceled runCtx) collapses it to an immediate close.
+		defer func() {
+			sctx, cancel := context.WithTimeout(runCtx, 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
 		fmt.Printf("introspection: http://%s/ (pprof under /debug/pprof/)\n", srv.Addr())
 		gridProgress = func(p ladder.GridProgress) { srv.Publish("grid", p) }
 	}
@@ -159,6 +179,29 @@ func main() {
 		}
 		printRows("Section 6.3 — metadata cache size ablation (IPC vs default 64KB; paper <2% gain)",
 			rows, []string{"16KB", "32KB", "64KB", "128KB", "256KB"})
+	}
+
+	if want("reliability") {
+		sub := ladder.Options{Instr: *instr, Seed: *seed,
+			FaultSeed: *faultSeed, RetryMax: *retryMax, SpareRows: *spareRows,
+			Workloads: []string{"lbm", "mcf", "mix-7"}}
+		rates := []float64{0.001, 0.01}
+		if *faultRate > 0 {
+			rates = []float64{*faultRate}
+		}
+		schemes := []string{ladder.SchemeBasic, ladder.SchemeEst, ladder.SchemeHybrid}
+		rows, err := ladder.ReliabilitySweep(sub, schemes, rates)
+		if err != nil {
+			fail(err)
+		}
+		series := make([]string, 0, len(schemes)*len(rates))
+		for _, s := range schemes {
+			for _, r := range rates {
+				series = append(series, fmt.Sprintf("%s@%g", s, r))
+			}
+		}
+		printRows("Reliability — program-and-verify retries per 1000 data writes (stale-margin effect; see docs/FAULTS.md)",
+			rows, series)
 	}
 
 	if want("lowrows") {

@@ -1,0 +1,23 @@
+package main
+
+import "fmt"
+
+// validateFlags rejects out-of-range numeric flags before a run starts:
+// a bad sampling rate or fault knob should fail fast with a clear
+// message, not surface minutes later from deep inside the simulator
+// (or, worse, silently disable the feature it was meant to tune).
+func validateFlags(traceSample, traceSlowest int, faultRate float64, retryMax, spareRows int) error {
+	switch {
+	case traceSample < 1:
+		return fmt.Errorf("-trace-sample must be >= 1 (record one in every N transactions), got %d", traceSample)
+	case traceSlowest < 0:
+		return fmt.Errorf("-trace-slowest must be >= 0 (0 disables the digest), got %d", traceSlowest)
+	case faultRate < 0 || faultRate >= 1:
+		return fmt.Errorf("-fault-rate must be in [0, 1) (0 disables injection), got %g", faultRate)
+	case retryMax < 1:
+		return fmt.Errorf("-retry-max must be >= 1, got %d", retryMax)
+	case spareRows < 1:
+		return fmt.Errorf("-spare-rows must be >= 1, got %d", spareRows)
+	}
+	return nil
+}

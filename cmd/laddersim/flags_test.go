@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	type in struct {
+		sample, slowest int
+		rate            float64
+		retry, spares   int
+	}
+	def := in{sample: 1, slowest: 0, rate: 0, retry: 3, spares: 32}
+	cases := []struct {
+		name    string
+		in      in
+		wantErr string // empty = valid
+	}{
+		{"defaults", def, ""},
+		{"typical injection", in{1, 5, 0.01, 3, 32}, ""},
+		{"rate just below one", in{1, 0, 0.999, 1, 1}, ""},
+		{"zero sample", in{0, 0, 0, 3, 32}, "-trace-sample"},
+		{"negative sample", in{-4, 0, 0, 3, 32}, "-trace-sample"},
+		{"negative slowest", in{1, -1, 0, 3, 32}, "-trace-slowest"},
+		{"rate one", in{1, 0, 1, 3, 32}, "-fault-rate"},
+		{"rate negative", in{1, 0, -0.5, 3, 32}, "-fault-rate"},
+		{"zero retries", in{1, 0, 0.01, 0, 32}, "-retry-max"},
+		{"zero spares", in{1, 0, 0.01, 3, 0}, "-spare-rows"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.in.sample, c.in.slowest, c.in.rate, c.in.retry, c.in.spares)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error mentioning %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not name the offending flag %q", err, c.wantErr)
+			}
+		})
+	}
+}

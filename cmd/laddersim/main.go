@@ -7,11 +7,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"ladder"
 	"ladder/internal/introspect"
@@ -36,8 +40,19 @@ func main() {
 		traceSample  = flag.Int("trace-sample", 1, "with tracing on, record one in every N memory transactions")
 		traceSlowest = flag.Int("trace-slowest", 0, "print the N slowest traced writes after the run (enables tracing)")
 		httpAddr     = flag.String("http", "", "serve live introspection (pprof, metrics, progress, spans) on this address, e.g. :6060")
+
+		faultRate = flag.Float64("fault-rate", 0, "base transient write-fault probability in [0, 1); 0 disables injection (see docs/FAULTS.md)")
+		faultSeed = flag.Int64("fault-seed", 0, "fault-injector PRNG seed (0 = reuse -seed)")
+		retryMax  = flag.Int("retry-max", 3, "program-and-verify reissue cap per write")
+		spareRows = flag.Int("spare-rows", 32, "per-bank spare-row pool for remapping failed rows")
 	)
 	flag.Parse()
+	if err := validateFlags(*traceSample, *traceSlowest, *faultRate, *retryMax, *spareRows); err != nil {
+		fmt.Fprintln(os.Stderr, "laddersim:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(ladder.Workloads(), " "))
@@ -54,6 +69,10 @@ func main() {
 		ShrinkRange:  *shrink,
 		Verify:       *verify,
 		TraceFile:    *traceIn,
+		FaultRate:    *faultRate,
+		FaultSeed:    *faultSeed,
+		RetryMax:     *retryMax,
+		SpareRows:    *spareRows,
 	}
 	// -http implies tracing so the live /spans feed has content.
 	if *traceOut != "" || *traceSlowest > 0 || *httpAddr != "" {
@@ -68,7 +87,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "laddersim:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		// Graceful drain with a bounded grace period: in-flight scrapes
+		// finish; an interrupt (canceled signal context) collapses the
+		// grace to an immediate close.
+		defer func() {
+			sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
 		fmt.Printf("introspection       http://%s/ (pprof under /debug/pprof/)\n", srv.Addr())
 		cfg.ProgressDetail = true
 		if cfg.ProgressEvery == 0 {
@@ -130,6 +156,10 @@ func main() {
 	rl := rep.ResetLatency
 	fmt.Printf("RESET latency       n=%d mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f ns\n",
 		rl.Count, rl.MeanNs, rl.P50Ns, rl.P95Ns, rl.P99Ns, rl.MaxNs)
+	if f := rep.Faults; f != nil {
+		fmt.Printf("faults              %d injected / %d checked, %d retries (mean %.1f ns), %d exhausted, %d rows remapped (%d spares used)\n",
+			f.Injected, f.Checked, f.Retries, f.RetryLatency.MeanNs, f.Exhausted, f.Remaps, f.SparesUsed)
+	}
 	fmt.Printf("wall clock          %.1f ms\n", rep.WallClockMS)
 	if *showMet {
 		fmt.Println("\nmetrics (see docs/METRICS.md)")

@@ -148,3 +148,16 @@ func (s *Est) UseConstrainedFNW() bool { return true }
 
 // CrashRecover implements CrashRecoverable.
 func (s *Est) CrashRecover() { s.crashRecover() }
+
+// WriteRetry implements RetryAware: a verify failure means the cached
+// partial counters mis-margined the row — stale or over-conservative
+// bounds — so the line is re-synthesized from the stored bits the
+// verify read exposed. Subsequent estimates for the row then carry the
+// tightest bound the 2-bit encoding can express.
+func (s *Est) WriteRetry(req *WriteRequest, attempt int) {
+	key := req.MetaKeys[0]
+	if line := s.cache.Data(key); line != nil {
+		*line = estInitLine(s.env, key)
+		s.cache.MarkDirty(key)
+	}
+}

@@ -33,29 +33,37 @@ func NewHybridCache(env *Env, cacheCfg MetaCacheConfig) (*Hybrid, error) {
 	// for the four pages sharing a low-precision line.
 	layout := NewLayout(env.Geom)
 	b.cache.SetInitializer(func(key uint64) MetaLine {
-		if key&hybridLowKeyBit == 0 {
-			return estInitLine(env, key)
-		}
-		var ml MetaLine
-		for q, base := range layout.LowGroupLines(key) {
-			if base >= env.Geom.Lines() {
-				continue
-			}
-			if err := env.Store.EnsureRow(base); err != nil {
-				return ml
-			}
-			for slot := 0; slot < reram.BlocksPerRow; slot++ {
-				stored, err := env.Store.Read(base + uint64(slot))
-				if err != nil {
-					return ml
-				}
-				bi, sh := lowSlotBits(q, slot)
-				ml[bi] |= (bits.EncodeLowPrecision(&stored) & 3) << sh
-			}
-		}
-		return ml
+		return hybridInitLine(env, layout, key)
 	})
 	return &Hybrid{ladderBase: b, shifting: true}, nil
+}
+
+// hybridInitLine synthesizes a Hybrid-layout metadata line from stored
+// content: Est layout for high-precision keys, packed 1-bit counters of
+// the four covered pages for low-precision keys. Used at boot-time
+// initialization and to reconcile after a verify failure.
+func hybridInitLine(env *Env, layout Layout, key uint64) MetaLine {
+	if key&hybridLowKeyBit == 0 {
+		return estInitLine(env, key)
+	}
+	var ml MetaLine
+	for q, base := range layout.LowGroupLines(key) {
+		if base >= env.Geom.Lines() {
+			continue
+		}
+		if err := env.Store.EnsureRow(base); err != nil {
+			return ml
+		}
+		for slot := 0; slot < reram.BlocksPerRow; slot++ {
+			stored, err := env.Store.Read(base + uint64(slot))
+			if err != nil {
+				return ml
+			}
+			bi, sh := lowSlotBits(q, slot)
+			ml[bi] |= (bits.EncodeLowPrecision(&stored) & 3) << sh
+		}
+	}
+	return ml
 }
 
 // Name implements Scheme.
@@ -171,3 +179,15 @@ func (s *Hybrid) UseConstrainedFNW() bool { return true }
 
 // CrashRecover implements CrashRecoverable.
 func (s *Hybrid) CrashRecover() { s.crashRecover() }
+
+// WriteRetry implements RetryAware: as with Est, a verify failure means
+// the cached counters mis-margined the row, so the metadata line is
+// re-synthesized from stored content at whichever precision the key
+// selects.
+func (s *Hybrid) WriteRetry(req *WriteRequest, attempt int) {
+	key := req.MetaKeys[0]
+	if line := s.cache.Data(key); line != nil {
+		*line = hybridInitLine(s.env, s.layout, key)
+		s.cache.MarkDirty(key)
+	}
+}

@@ -162,6 +162,19 @@ func (b *ladderBase) release(req *WriteRequest) {
 // Cache exposes the metadata cache (testing/diagnostics).
 func (b *ladderBase) Cache() *MetaCache { return b.cache }
 
+// RetryAware is implemented by schemes that must reconcile volatile
+// LRS-metadata after a verify failure: a failed RESET proves the pulse
+// under-provisioned the row's actual content, i.e. the scheme's cached
+// estimate was stale. The controller invokes the hook once per
+// program-and-verify reissue, before the escalated pulse dispatches;
+// the row is open in the sense amplifiers, so the reconciliation is
+// free of extra array reads.
+type RetryAware interface {
+	// WriteRetry reconciles metadata for req's row; attempt counts the
+	// reissues so far (1 on the first retry).
+	WriteRetry(req *WriteRequest, attempt int)
+}
+
 // CrashRecoverable is implemented by schemes that keep volatile
 // LRS-metadata state and support the paper's Section 7 crash-recovery
 // story.

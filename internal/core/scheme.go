@@ -100,6 +100,10 @@ type WriteRequest struct {
 	// when the scheme has no content knowledge). The tracing layer maps
 	// it to the timing-table content bucket.
 	Clrs int
+	// Retries counts program-and-verify reissues of this write
+	// (fault-injection runs; each reissue escalates the pulse one
+	// content bucket).
+	Retries int
 	// TraceRef is the transaction's tracing span reference (0 when the
 	// request was not sampled or tracing is off).
 	TraceRef uint64

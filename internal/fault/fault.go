@@ -1,0 +1,304 @@
+// Package fault implements deterministic write-fault injection and the
+// bookkeeping for graceful row degradation: a seeded, reproducible model
+// of transient RESET failures whose probability is a U-shaped function
+// of the pulse's latency margin over the timing-table requirement
+// (under-provisioning risks incomplete switching, over-provisioning
+// risks over-RESET stress and disturb — see probability), permanent
+// wear-out faults driven by per-row write counts against the wear
+// lifetime model, and a WoLFRaM-style per-bank spare-row pool that rows
+// remap into once program-and-verify retries exhaust.
+//
+// Determinism contract: the injector draws one pseudo-random number per
+// transient check from a splitmix64 stream seeded by Config.Seed, in the
+// order the (single-goroutine) simulation completes write pulses. Two
+// runs with identical configuration and seed therefore produce identical
+// verdicts, retries and remaps — byte-identical reports. A disabled
+// injector is a nil *Injector; every consumer gates on that nil, so
+// fault-free runs are cycle-identical to a build without this package.
+package fault
+
+import (
+	"fmt"
+)
+
+// Default knobs; see Config.
+const (
+	// DefaultRetryMax is the program-and-verify reissue cap per write.
+	DefaultRetryMax = 3
+	// DefaultSpareRows is each bank's spare-row pool size.
+	DefaultSpareRows = 32
+	// DefaultWearLimit is the per-row write count at which permanent
+	// stuck-at faults appear (the wear package's 1e8-cycle endurance).
+	DefaultWearLimit = 100_000_000
+	// DefaultRemapPenaltyNs is the remap-table indirection charged on
+	// every access to a remapped row (a small CAM lookup in the bank
+	// periphery).
+	DefaultRemapPenaltyNs = 2
+)
+
+// Margin-response constants of the transient model (see probability):
+// underSlope scales how fast an under-provisioned pulse degrades toward
+// certain failure; overSlope scales how fast surplus pulse time raises
+// the over-stress/disturb exposure above the base rate.
+const (
+	underSlope = 4.0
+	overSlope  = 2.0
+)
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Rate is the base transient-failure probability of a pulse with zero
+	// latency margin (an exactly-provisioned RESET). Must be in [0, 1).
+	Rate float64
+	// Seed seeds the injector's private PRNG stream.
+	Seed int64
+	// RetryMax caps program-and-verify reissues per write (0 = default).
+	RetryMax int
+	// SpareRows sizes each bank's spare-row pool (0 = default).
+	SpareRows int
+	// WearLimit is the effective per-row write count beyond which writes
+	// fail permanently until the row is remapped (0 = default 1e8).
+	WearLimit uint64
+	// RemapPenaltyNs is the indirection latency charged on accesses to
+	// remapped rows (0 = default 2 ns; negative is invalid).
+	RemapPenaltyNs float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.RetryMax == 0 {
+		c.RetryMax = DefaultRetryMax
+	}
+	if c.SpareRows == 0 {
+		c.SpareRows = DefaultSpareRows
+	}
+	if c.WearLimit == 0 {
+		c.WearLimit = DefaultWearLimit
+	}
+	if c.RemapPenaltyNs == 0 {
+		c.RemapPenaltyNs = DefaultRemapPenaltyNs
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable (after defaults).
+func (c Config) Validate() error {
+	switch {
+	case c.Rate < 0 || c.Rate >= 1:
+		return fmt.Errorf("fault: rate %v out of [0, 1)", c.Rate)
+	case c.RetryMax < 0:
+		return fmt.Errorf("fault: retry cap %d must be non-negative", c.RetryMax)
+	case c.SpareRows < 0:
+		return fmt.Errorf("fault: spare-row pool %d must be non-negative", c.SpareRows)
+	case c.RemapPenaltyNs < 0:
+		return fmt.Errorf("fault: remap penalty %v must be non-negative", c.RemapPenaltyNs)
+	}
+	return nil
+}
+
+// Verdict is the outcome of one write-pulse check.
+type Verdict int
+
+const (
+	// OK: the RESET completed.
+	OK Verdict = iota
+	// Transient: the pulse failed to switch every cell; a reissue with
+	// more latency margin may succeed.
+	Transient
+	// Permanent: the row has worn-out cells; no pulse completes until the
+	// row is remapped to a spare.
+	Permanent
+)
+
+// String returns the verdict label.
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	}
+	return "unknown"
+}
+
+// Stats is the injector's cumulative accounting, embedded in run results
+// and the report's faults section.
+type Stats struct {
+	// Checked counts write pulses offered to the injector.
+	Checked uint64 `json:"checked"`
+	// Injected counts failed pulses (transient + permanent).
+	Injected uint64 `json:"injected"`
+	// Transient and Permanent split Injected by verdict.
+	Transient uint64 `json:"transient"`
+	Permanent uint64 `json:"permanent"`
+	// Retries counts program-and-verify reissues.
+	Retries uint64 `json:"retries"`
+	// Exhausted counts writes whose transient retries hit the cap.
+	Exhausted uint64 `json:"exhausted"`
+	// Remaps counts rows moved to a spare; SparesUsed counts pool slots
+	// consumed (equal unless a remapped row wears out its spare too).
+	Remaps     uint64 `json:"remaps"`
+	SparesUsed uint64 `json:"spares_used"`
+}
+
+// remapEntry records one row's relocation to a spare: baseWrites is the
+// row's write count at remap time, so wear on the fresh spare is counted
+// from zero.
+type remapEntry struct {
+	baseWrites uint64
+}
+
+// splitmixState is the splitmix64 PRNG (same recurrence the store uses
+// for resident-data synthesis): tiny, seedable and fully deterministic.
+type splitmixState struct{ x uint64 }
+
+func (s *splitmixState) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (s *splitmixState) float() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// Injector is one run's fault model. It is single-goroutine like the
+// simulation that drives it; a nil *Injector means fault injection is
+// disabled and is safe to pass around (consumers nil-check).
+type Injector struct {
+	cfg   Config
+	rng   splitmixState
+	stats Stats
+	// remapped maps a global row to its spare-row relocation.
+	remapped map[uint64]remapEntry
+	// spareUsed counts consumed pool slots per bank key.
+	spareUsed map[int]int
+}
+
+// NewInjector builds an injector, applying defaults then validating.
+func NewInjector(cfg Config) (*Injector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		cfg:       cfg,
+		rng:       splitmixState{x: uint64(cfg.Seed) ^ 0xfa017ab1e5},
+		remapped:  make(map[uint64]remapEntry),
+		spareUsed: make(map[int]int),
+	}, nil
+}
+
+// RetryMax returns the program-and-verify reissue cap.
+func (in *Injector) RetryMax() int { return in.cfg.RetryMax }
+
+// PenaltyNs returns the remap-table indirection latency.
+func (in *Injector) PenaltyNs() float64 { return in.cfg.RemapPenaltyNs }
+
+// Rate returns the configured base transient rate.
+func (in *Injector) Rate() float64 { return in.cfg.Rate }
+
+// Stats returns a copy of the cumulative accounting.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Remapped reports whether a global row has been relocated to a spare
+// (accesses to it pay the remap-table penalty). Safe on nil.
+func (in *Injector) Remapped(globalRow uint64) bool {
+	if in == nil {
+		return false
+	}
+	_, ok := in.remapped[globalRow]
+	return ok
+}
+
+// probability maps a pulse's latency margin to its failure probability.
+// margin = (programmed − required) / required. The response is U-shaped
+// with its minimum — the base rate — at exact provisioning:
+//
+//   - A deficit (margin < 0) grows the probability linearly toward
+//     certain failure (4× under-provisioning ⇒ ~certain): the
+//     incomplete-switching regime variability-aware crossbar channel
+//     models predict.
+//   - A surplus (margin > 0) raises the probability linearly above the
+//     base rate: cells that finish switching early in a long pulse sit
+//     under full RESET stress for the pulse's remainder, and that
+//     over-RESET/disturb exposure scales with the excess pulse time.
+//
+// The surplus arm is what the reliability experiment measures: a scheme
+// whose content metadata is conservatively stale (LADDER-Est's 2-bit
+// partial-counter bounds) programs surplus margin on most writes and
+// pays over-stress retries that LADDER-Basic's exact counters — zero
+// margin by construction — never do.
+func (in *Injector) probability(latNs, needNs float64) float64 {
+	if needNs <= 0 {
+		return in.cfg.Rate
+	}
+	margin := (latNs - needNs) / needNs
+	if margin < 0 {
+		boost := underSlope * -margin
+		if boost > 1 {
+			boost = 1
+		}
+		return in.cfg.Rate + (1-in.cfg.Rate)*boost
+	}
+	p := in.cfg.Rate * (1 + overSlope*margin)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// CheckWrite judges one completed write pulse: latNs is the programmed
+// RESET latency, needNs the timing-table requirement for the row's
+// actual pre-write content, rowWrites the row's cumulative write count.
+// Exactly one PRNG draw is consumed per transient check, keeping the
+// stream aligned across reruns.
+func (in *Injector) CheckWrite(globalRow uint64, latNs, needNs float64, rowWrites uint64) Verdict {
+	in.stats.Checked++
+	if e, ok := in.remapped[globalRow]; ok {
+		// The spare is wear-fresh: count writes from the remap point.
+		rowWrites -= e.baseWrites
+	}
+	if rowWrites >= in.cfg.WearLimit {
+		in.stats.Injected++
+		in.stats.Permanent++
+		return Permanent
+	}
+	if in.rng.float() < in.probability(latNs, needNs) {
+		in.stats.Injected++
+		in.stats.Transient++
+		return Transient
+	}
+	return OK
+}
+
+// NoteRetry records one program-and-verify reissue.
+func (in *Injector) NoteRetry() { in.stats.Retries++ }
+
+// NoteExhausted records one write whose transient retries hit the cap.
+func (in *Injector) NoteExhausted() { in.stats.Exhausted++ }
+
+// Remap relocates a global row to a spare from its bank's pool,
+// recording the wear baseline so the spare starts fresh. A row already
+// remapped consumes another slot (its spare wore out). The returned
+// error means the pool is exhausted — the device can no longer hide the
+// failure and the run must surface it.
+func (in *Injector) Remap(bank int, globalRow uint64, rowWrites uint64) error {
+	if in.spareUsed[bank] >= in.cfg.SpareRows {
+		return fmt.Errorf("fault: bank %d spare-row pool exhausted (%d spares used); row %d unrecoverable",
+			bank, in.cfg.SpareRows, globalRow)
+	}
+	in.spareUsed[bank]++
+	in.remapped[globalRow] = remapEntry{baseWrites: rowWrites}
+	in.stats.Remaps++
+	in.stats.SparesUsed++
+	return nil
+}
+
+// SpareCapacity returns the per-bank pool size.
+func (in *Injector) SpareCapacity() int { return in.cfg.SpareRows }

@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustInjector(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero value", Config{}, true},
+		{"typical", Config{Rate: 0.01, Seed: 7, RetryMax: 3, SpareRows: 32}, true},
+		{"rate one", Config{Rate: 1}, false},
+		{"rate negative", Config{Rate: -0.1}, false},
+		{"retry negative", Config{RetryMax: -1}, false},
+		{"spares negative", Config{SpareRows: -1}, false},
+		{"penalty negative", Config{RemapPenaltyNs: -2}, false},
+	}
+	for _, c := range cases {
+		_, err := NewInjector(c.cfg)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: NewInjector err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	in := mustInjector(t, Config{Rate: 0.01})
+	if in.RetryMax() != DefaultRetryMax {
+		t.Errorf("RetryMax = %d, want default %d", in.RetryMax(), DefaultRetryMax)
+	}
+	if in.SpareCapacity() != DefaultSpareRows {
+		t.Errorf("SpareCapacity = %d, want default %d", in.SpareCapacity(), DefaultSpareRows)
+	}
+	if in.PenaltyNs() != DefaultRemapPenaltyNs {
+		t.Errorf("PenaltyNs = %v, want default %v", in.PenaltyNs(), DefaultRemapPenaltyNs)
+	}
+}
+
+// TestSeededRateWithinTolerance checks that zero-margin injection hits
+// the configured base rate: the heart of the model's calibration.
+func TestSeededRateWithinTolerance(t *testing.T) {
+	const (
+		rate   = 0.02
+		trials = 200_000
+	)
+	in := mustInjector(t, Config{Rate: rate, Seed: 42})
+	faults := 0
+	for i := 0; i < trials; i++ {
+		// Zero margin: programmed latency equals the requirement.
+		if in.CheckWrite(uint64(i), 100, 100, 0) == Transient {
+			faults++
+		}
+	}
+	got := float64(faults) / trials
+	// 5 sigma of a binomial at p=0.02, n=200k is ~0.0016.
+	if tol := 0.002; math.Abs(got-rate) > tol {
+		t.Errorf("observed rate %.5f outside %v ± %v", got, rate, tol)
+	}
+	st := in.Stats()
+	if st.Checked != trials || st.Injected != uint64(faults) || st.Transient != uint64(faults) {
+		t.Errorf("stats mismatch: %+v (faults %d)", st, faults)
+	}
+}
+
+// TestMarginShapesProbability pins the U-shaped response: exact
+// provisioning is the minimum (base rate), a deficit boosts the
+// probability toward certain incomplete switching, and a surplus raises
+// it too (over-RESET stress scaling with excess pulse time).
+func TestMarginShapesProbability(t *testing.T) {
+	in := mustInjector(t, Config{Rate: 0.05, Seed: 1})
+	pZero := in.probability(100, 100)
+	pOver := in.probability(200, 100)
+	pFarOver := in.probability(400, 100)
+	pUnder := in.probability(80, 100)
+	pDeep := in.probability(25, 100)
+	if pZero != 0.05 {
+		t.Errorf("zero-margin probability %v, want base rate", pZero)
+	}
+	if !(pZero < pOver && pOver < pFarOver) {
+		t.Errorf("surplus margin should raise the rate: zero=%v over=%v far=%v",
+			pZero, pOver, pFarOver)
+	}
+	if !(pZero < pUnder && pUnder < pDeep) {
+		t.Errorf("probabilities not monotone in deficit: zero=%v under=%v deep=%v",
+			pZero, pUnder, pDeep)
+	}
+	if pDeep != 1 {
+		t.Errorf("4x under-provisioned pulse should fail certainly, got %v", pDeep)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Verdict {
+		in := mustInjector(t, Config{Rate: 0.3, Seed: 99})
+		out := make([]Verdict, 1000)
+		for i := range out {
+			out[i] = in.CheckWrite(uint64(i%17), 100, 95+float64(i%11), 0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d diverged across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWearPermanentAndRemapFreshness(t *testing.T) {
+	in := mustInjector(t, Config{Rate: 0.001, Seed: 3, WearLimit: 100})
+	const row = 7
+	if v := in.CheckWrite(row, 100, 100, 99); v != OK && v != Transient {
+		t.Fatalf("pre-limit write got %v", v)
+	}
+	if v := in.CheckWrite(row, 1e6, 100, 100); v != Permanent {
+		t.Fatalf("at-limit write got %v, want Permanent (margin must not matter)", v)
+	}
+	if err := in.Remap(0, row, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Remapped(row) {
+		t.Fatal("row not marked remapped")
+	}
+	// Wear counts from the remap baseline: 100 lifetime writes later the
+	// spare is at its own limit, not before.
+	if v := in.CheckWrite(row, 100, 100, 199); v == Permanent {
+		t.Fatal("fresh spare reported worn")
+	}
+	if v := in.CheckWrite(row, 1e6, 100, 200); v != Permanent {
+		t.Fatalf("worn spare got %v, want Permanent", v)
+	}
+}
+
+func TestSparePoolExhaustion(t *testing.T) {
+	in := mustInjector(t, Config{Rate: 0.01, Seed: 5, SpareRows: 2})
+	if err := in.Remap(4, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Remap(4, 11, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := in.Remap(4, 12, 0)
+	if err == nil {
+		t.Fatal("third remap in a 2-spare bank should fail")
+	}
+	if !strings.Contains(err.Error(), "exhausted") {
+		t.Errorf("error %q should mention exhaustion", err)
+	}
+	// Other banks keep their own pools.
+	if err := in.Remap(5, 13, 0); err != nil {
+		t.Fatalf("other bank's pool should be untouched: %v", err)
+	}
+	st := in.Stats()
+	if st.Remaps != 3 || st.SparesUsed != 3 {
+		t.Errorf("stats = %+v, want 3 remaps / 3 spares used", st)
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.Remapped(0) {
+		t.Fatal("nil injector claims a remapped row")
+	}
+}

@@ -14,6 +14,7 @@
 package introspect
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -56,13 +57,26 @@ func New(addr string) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server. Safe on a nil receiver, so callers can hold
-// an optional *Server and defer Close unconditionally.
+// Close stops the server immediately, dropping in-flight scrapes. Safe
+// on a nil receiver, so callers can hold an optional *Server and defer
+// Close unconditionally. Prefer Shutdown where a context is available.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.http.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes, in-flight
+// requests (a pprof profile capture, a metrics scrape) run to completion,
+// and only then does Shutdown return — unless ctx expires first, in
+// which case the remaining connections are dropped and ctx's error is
+// returned. Safe on a nil receiver.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.http.Shutdown(ctx)
 }
 
 // Publish stores a named JSON document, replacing any previous value.

@@ -1,11 +1,13 @@
 package introspect
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func newTestServer(t *testing.T) *Server {
@@ -89,8 +91,25 @@ func TestPprofReachable(t *testing.T) {
 	}
 }
 
+func TestShutdownStopsServing(t *testing.T) {
+	srv, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Publish("progress", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown with slack context: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/progress"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}
+
 func TestNilServerIsSafe(t *testing.T) {
 	var srv *Server
-	srv.Publish("x", 1) // must not panic
-	srv.Close()         // must not panic
+	srv.Publish("x", 1)                    // must not panic
+	srv.Close()                            // must not panic
+	_ = srv.Shutdown(context.Background()) // must not panic
 }

@@ -20,6 +20,7 @@ import (
 	"ladder/internal/core"
 	"ladder/internal/energy"
 	"ladder/internal/engine"
+	"ladder/internal/fault"
 	"ladder/internal/metrics"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
@@ -108,6 +109,10 @@ type busyOp struct {
 	read   *ReadReq
 	write  *core.WriteRequest
 	latNs  float64
+	// retryRef is the tracing span of the escalated reissue pulse this op
+	// represents (0 for first-attempt pulses). The original write span
+	// stays open across the whole program-and-verify sequence.
+	retryRef uint64
 }
 
 // ReadDoneFunc is invoked when a demand read's data returns.
@@ -138,6 +143,18 @@ type Controller struct {
 	// before LADDER, Figure 18a).
 	remap func(reram.Location) reram.Location
 
+	// inj, when set, injects write faults at pulse completion and drives
+	// the program-and-verify retry loop. Nil keeps the datapath untouched
+	// (one pointer test per write completion).
+	inj *fault.Injector
+	// reissue buffers escalated retry pulses created while
+	// completeFinished iterates inflight; merged back after the loop so
+	// the in-place filter never observes appends.
+	reissue []busyOp
+	// faultErr latches the first unrecoverable fault (spare-row pool
+	// exhaustion); the simulation aborts on it.
+	faultErr error
+
 	banksPerRank int
 
 	// Observability instruments (nil until Instrument is called; every
@@ -150,6 +167,11 @@ type Controller struct {
 	mResetHist   *metrics.Histogram // per-data-RESET latency (ns)
 	mResetCells  *metrics.Grid      // RESETs per timing-table (WL,BL) cell
 	mMetaIssued  *metrics.Counter   // metadata/maintenance writes issued
+	mFaults      *metrics.Counter   // injected write faults (transient + permanent)
+	mRetries     *metrics.Counter   // program-and-verify reissues
+	mRemaps      *metrics.Counter   // rows remapped to the spare pool
+	mExhausted   *metrics.Counter   // writes whose retry budget ran out
+	mRetryHist   *metrics.Histogram // escalated reissue-pulse latency (ns)
 
 	// tr, when set, records sampled transaction-lifecycle spans (see
 	// package tracing). Nil keeps the hot path at one pointer test per
@@ -185,7 +207,25 @@ func (c *Controller) Instrument(reg *metrics.Registry, channel int) {
 	c.mResetHist = reg.Histogram(p+"reset_latency_ns", ResetLatencyBounds())
 	c.mResetCells = reg.Grid(p+"reset_table_cells", timing.Buckets, timing.Buckets)
 	c.mMetaIssued = reg.Counter(p + "meta_writes_issued")
+	if c.inj != nil {
+		c.mFaults = reg.Counter(p + "write_faults")
+		c.mRetries = reg.Counter(p + "write_retries")
+		c.mRemaps = reg.Counter(p + "row_remaps")
+		c.mExhausted = reg.Counter(p + "retry_exhausted")
+		c.mRetryHist = reg.Histogram(p+"retry_latency_ns", ResetLatencyBounds())
+	}
 }
+
+// SetFaults attaches a write-fault injector; call before Instrument so
+// the fault instruments are created. Nil (the default) disables
+// injection entirely and leaves the write datapath cycle-identical to a
+// fault-free build.
+func (c *Controller) SetFaults(inj *fault.Injector) { c.inj = inj }
+
+// Err returns the first unrecoverable fault error (spare-row pool
+// exhaustion), or nil. The simulation loop checks it after every tick
+// and surfaces it through sim.Run.
+func (c *Controller) Err() error { return c.faultErr }
 
 // Trace attaches a span collector, attributing this controller's
 // transactions to channel `channel`. Call before the first Tick; a nil
@@ -427,6 +467,12 @@ func (c *Controller) completeFinished(now uint64) bool {
 		}
 	}
 	c.inflight = kept
+	// finishWrite parks verify-failure reissues aside: kept aliases
+	// c.inflight's array, so appending mid-loop would corrupt the filter.
+	if len(c.reissue) > 0 {
+		c.inflight = append(c.inflight, c.reissue...)
+		c.reissue = c.reissue[:0]
+	}
 	return completed
 }
 
@@ -456,18 +502,29 @@ func (c *Controller) finishRead(r *ReadReq, now uint64) {
 }
 
 // finishWrite persists a completed write through the FNW bridge and lets
-// the scheme update its metadata.
+// the scheme update its metadata. Under fault injection the pulse is
+// verified first: a failed RESET reissues with an escalated latency
+// instead of persisting, so the array only ever holds verified content.
 func (c *Controller) finishWrite(op busyOp, now uint64) {
 	req := op.write
-	if c.tr != nil && req.TraceRef != 0 {
-		c.tr.End(req.TraceRef, now)
-	}
 	if req.IsMeta {
+		if c.tr != nil && req.TraceRef != 0 {
+			c.tr.End(req.TraceRef, now)
+		}
 		// Metadata content was persisted to the backing image at
 		// eviction; here the device pays the array write.
 		c.meter.Write(op.latNs, core.MetaLineSize*2)
 		c.retrySpill(now)
 		return
+	}
+	if c.tr != nil && op.retryRef != 0 {
+		c.tr.End(op.retryRef, now)
+	}
+	if c.inj != nil && !c.verifyWrite(op, now) {
+		return
+	}
+	if c.tr != nil && req.TraceRef != 0 {
+		c.tr.End(req.TraceRef, now)
 	}
 	old, err := c.env.Store.Read(req.Line)
 	if err != nil {
@@ -493,6 +550,100 @@ func (c *Controller) finishWrite(op busyOp, now uint64) {
 	c.meter.Write(op.latNs, res.BitChanges)
 	c.routeWritebacks(c.scheme.Complete(req, old, enc), now)
 	c.retrySpill(now)
+}
+
+// verifyWrite runs the program-and-verify check for a completed data
+// pulse. It reports whether the write may persist: true on a clean
+// verify and on the remap path (the final attempt lands on the fresh
+// spare row), false when the pulse failed and an escalated reissue was
+// scheduled. The required latency is computed over the row's pre-write
+// content — exactly what the pulse had to overcome — and the injector's
+// response to the pulse's margin over that requirement is U-shaped
+// (package fault), so a scheme whose metadata is conservatively stale
+// (LADDER-Est's partial-counter bounds) programs surplus margin and
+// fails verify more often than LADDER-Basic's exact counters.
+func (c *Controller) verifyWrite(op busyOp, now uint64) bool {
+	req := op.write
+	needC, err := c.env.Store.MaxRowCounter(req.Line)
+	if err != nil {
+		return true
+	}
+	needNs := c.env.Tables.WL.Lookup(req.Loc.WL, req.Loc.BLHigh, needC)
+	rowWrites, err := c.env.Store.RowWrites(req.Line)
+	if err != nil {
+		return true
+	}
+	globalRow := c.env.Geom.GlobalRow(req.Loc)
+	verdict := c.inj.CheckWrite(globalRow, op.latNs, needNs, rowWrites)
+	if verdict == fault.OK {
+		return true
+	}
+	c.mFaults.Inc()
+	// The failed pulse still ran: charge its energy, zero cells switched.
+	c.meter.Write(op.latNs, 0)
+	if verdict == fault.Transient && req.Retries < c.inj.RetryMax() {
+		c.reissueWrite(op, now)
+		return false
+	}
+	// Permanent fault, or the transient retry budget ran out: retire the
+	// row to the bank's spare pool. The remapped write persists below —
+	// the spare starts fresh, so no re-verification is modeled.
+	if verdict == fault.Transient {
+		c.inj.NoteExhausted()
+		c.mExhausted.Inc()
+	}
+	if err := c.inj.Remap(c.bankOf(req.Loc), globalRow, rowWrites); err != nil {
+		if c.faultErr == nil {
+			c.faultErr = err
+		}
+		return true
+	}
+	c.mRemaps.Inc()
+	return true
+}
+
+// reissueWrite schedules the escalated program-and-verify reissue: the
+// pulse latency climbs one timing-table content bucket per attempt
+// (unknown-content writes jump straight to the worst bucket), the bank
+// stays busy for the full escalated duration, and a RetryAware scheme
+// gets to reconcile the stale metadata that caused the failure.
+func (c *Controller) reissueWrite(op busyOp, now uint64) {
+	req := op.write
+	req.Retries++
+	c.inj.NoteRetry()
+	c.mRetries.Inc()
+	if ra, ok := c.scheme.(core.RetryAware); ok {
+		ra.WriteRetry(req, req.Retries)
+	}
+	t := c.env.Tables.WL
+	lat := t.EscalateContent(req.Loc.WL, req.Loc.BLHigh, req.Clrs, req.Retries)
+	if lat < op.latNs {
+		lat = op.latNs
+	}
+	bank := c.bankOf(req.Loc)
+	dur := uint64(c.cfg.TRCD+c.cfg.TBurst) + uint64(math.Ceil(lat*TicksPerNs))
+	c.bankBusy[bank] = now + dur
+	var ref uint64
+	if c.tr != nil && req.TraceRef != 0 {
+		ref = c.tr.Begin(tracing.KindWriteRetry, c.trChannel, bank, -1, req.Line, now)
+		clrs := -1
+		if req.Clrs >= 0 {
+			clrs = t.BucketOf(req.Clrs)
+		}
+		c.tr.Dispatch(ref, now, lat,
+			t.BucketOf(req.Loc.WL), t.BucketOf(req.Loc.BLHigh), clrs, c.writeMode)
+	}
+	c.mRetryHist.Observe(lat)
+	c.reissue = append(c.reissue, busyOp{finish: now + dur, write: req, latNs: lat, retryRef: ref})
+}
+
+// remapPenalty returns the extra bank ticks a spare-row indirection adds
+// to an access whose row was retired to the spare pool.
+func (c *Controller) remapPenalty(loc reram.Location) uint64 {
+	if c.inj == nil || !c.inj.Remapped(c.env.Geom.GlobalRow(loc)) {
+		return 0
+	}
+	return uint64(math.Ceil(c.inj.PenaltyNs() * TicksPerNs))
 }
 
 // retrySpill lets the scheme re-attempt deferred metadata acquisitions.
@@ -569,7 +720,7 @@ func (c *Controller) issueReads(now uint64, auxOnly bool) bool {
 			i++
 			continue
 		}
-		dur := uint64(c.cfg.TRCD + c.cfg.TCL + c.cfg.TBurst)
+		dur := uint64(c.cfg.TRCD+c.cfg.TCL+c.cfg.TBurst) + c.remapPenalty(r.Loc)
 		c.bankBusy[bank] = now + dur
 		if c.tr != nil && r.TraceRef != 0 {
 			c.tr.Dispatch(r.TraceRef, now, float64(dur)/TicksPerNs, -1, -1, -1, c.writeMode)
@@ -613,7 +764,7 @@ func (c *Controller) issueWrites(now uint64) bool {
 				c.mResetCells.Inc(t.BucketOf(req.Loc.WL), t.BucketOf(req.Loc.BLHigh))
 			}
 		}
-		dur := uint64(c.cfg.TRCD+c.cfg.TBurst) + uint64(math.Ceil(latNs*TicksPerNs))
+		dur := uint64(c.cfg.TRCD+c.cfg.TBurst) + uint64(math.Ceil(latNs*TicksPerNs)) + c.remapPenalty(req.Loc)
 		req.DispatchCycle = now
 		if c.tr != nil && req.TraceRef != 0 {
 			t := c.env.Tables.WL

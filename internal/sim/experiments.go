@@ -27,6 +27,12 @@ type Options struct {
 	// lock, so the callback needs no synchronization of its own but must
 	// stay cheap.
 	Progress func(GridProgress)
+	// FaultSeed, RetryMax and SpareRows parameterize fault-injection
+	// cells (ReliabilitySweep); runs without a fault rate ignore them.
+	// Zero values select the defaults (see sim.Config).
+	FaultSeed int64
+	RetryMax  int
+	SpareRows int
 }
 
 // GridProgress reports one finished cell of a running experiment grid.
@@ -53,6 +59,9 @@ func (o Options) config(workload, scheme string) Config {
 		InstrPerCore: o.Instr,
 		Seed:         o.Seed,
 		Tables:       o.Tables,
+		FaultSeed:    o.FaultSeed,
+		RetryMax:     o.RetryMax,
+		SpareRows:    o.SpareRows,
 	}
 }
 
@@ -448,6 +457,44 @@ func LowPrecisionSweep(opts Options, rows []int) ([]Row, error) {
 				return nil, err
 			}
 			r.Values[fmt.Sprintf("rows=%d svc", n)] = res.Stats.AvgWriteServiceNs()
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ReliabilitySweep runs the write-fault reliability study: every
+// workload runs under each scheme at each base fault rate (same fault
+// seed), and the reported value is program-and-verify retries per 1000
+// data writes, keyed "scheme@rate". The sweep exposes the stale-metadata
+// margin effect: LADDER-Est's conservative partial-counter bounds
+// program surplus latency margin, whose over-RESET stress draws more
+// verify failures than LADDER-Basic's exact zero-margin counters (see
+// docs/FAULTS.md). Nil schemes/rates select the defaults.
+func ReliabilitySweep(opts Options, schemes []string, rates []float64) ([]Row, error) {
+	if len(schemes) == 0 {
+		schemes = []string{SchemeBasic, SchemeEst, SchemeHybrid}
+	}
+	if len(rates) == 0 {
+		rates = []float64{0.001, 0.01}
+	}
+	out := make([]Row, 0, len(opts.workloads()))
+	for _, w := range opts.workloads() {
+		r := Row{Workload: w, Values: map[string]float64{}}
+		for _, s := range schemes {
+			for _, rate := range rates {
+				cfg := opts.config(w, s)
+				cfg.FaultRate = rate
+				res, err := Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("reliability %s/%s@%g: %w", w, s, rate, err)
+				}
+				v := 0.0
+				if res.Faults != nil && res.Stats.DataWrites > 0 {
+					v = 1000 * float64(res.Faults.Retries) / float64(res.Stats.DataWrites)
+				}
+				r.Values[fmt.Sprintf("%s@%g", s, rate)] = v
+			}
 		}
 		out = append(out, r)
 	}

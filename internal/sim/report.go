@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"ladder/internal/fault"
 	"ladder/internal/metrics"
 	"ladder/internal/tracing"
 )
@@ -23,6 +24,11 @@ const GridReportSchema = "ladder.grid-report/v1"
 // resetLatencySuffix is the per-channel RESET histogram name suffix; the
 // full names are "memctrl.ch<N>.reset_latency_ns" (docs/METRICS.md).
 const resetLatencySuffix = ".reset_latency_ns"
+
+// retryLatencySuffix is the per-channel reissue-pulse histogram name
+// suffix ("memctrl.ch<N>.retry_latency_ns"); present on fault-injection
+// runs only.
+const retryLatencySuffix = ".retry_latency_ns"
 
 // ResetLatencySummary condenses the system-wide RESET-latency
 // distribution (all channels merged): the content/location spread the
@@ -72,6 +78,18 @@ type Report struct {
 	// Trace summarizes the run's transaction tracing (sampling rate,
 	// span accounting, slowest writes); present only on traced runs.
 	Trace *tracing.Summary `json:"trace,omitempty"`
+
+	// Faults is the fault-injection section (docs/FAULTS.md); present only
+	// on runs with Config.FaultRate > 0.
+	Faults *FaultSummary `json:"faults,omitempty"`
+}
+
+// FaultSummary is the report's fault-injection section: the injector's
+// verdict/retry/remap accounting plus the merged distribution of
+// escalated reissue-pulse latencies.
+type FaultSummary struct {
+	fault.Stats
+	RetryLatency ResetLatencySummary `json:"retry_latency"`
 }
 
 // NewReport freezes a Result into its report form.
@@ -101,17 +119,29 @@ func NewReport(res *Result) *Report {
 		sum := res.Trace.Summary()
 		r.Trace = &sum
 	}
+	if res.Faults != nil {
+		r.Faults = &FaultSummary{
+			Stats:        *res.Faults,
+			RetryLatency: summarizeLatency(snap, retryLatencySuffix),
+		}
+	}
 	return r
 }
 
 // summarizeResetLatency merges every per-channel RESET histogram in the
-// snapshot. All channels share ResetLatencyBounds(), so the merge cannot
-// fail on bounds; a foreign snapshot with mismatched bounds yields the
-// partial merge accumulated so far.
+// snapshot.
 func summarizeResetLatency(snap metrics.Snapshot) ResetLatencySummary {
+	return summarizeLatency(snap, resetLatencySuffix)
+}
+
+// summarizeLatency merges every per-channel memctrl histogram with the
+// given name suffix. All channels share ResetLatencyBounds(), so the
+// merge cannot fail on bounds; a foreign snapshot with mismatched bounds
+// yields the partial merge accumulated so far.
+func summarizeLatency(snap metrics.Snapshot, suffix string) ResetLatencySummary {
 	var merged metrics.HistogramSnapshot
 	for name, h := range snap.Histograms {
-		if !strings.HasPrefix(name, "memctrl.") || !strings.HasSuffix(name, resetLatencySuffix) {
+		if !strings.HasPrefix(name, "memctrl.") || !strings.HasSuffix(name, suffix) {
 			continue
 		}
 		if m, err := merged.Merge(h); err == nil {
@@ -150,6 +180,10 @@ func (r *Report) WriteText(w io.Writer) error {
 	rl := r.ResetLatency
 	fmt.Fprintf(&b, "  RESET latency (all channels, %d RESETs): mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f ns\n",
 		rl.Count, rl.MeanNs, rl.P50Ns, rl.P95Ns, rl.P99Ns, rl.MaxNs)
+	if f := r.Faults; f != nil {
+		fmt.Fprintf(&b, "  faults: %d injected / %d checked, %d retries (mean %.1f ns), %d exhausted, %d rows remapped (%d spares used)\n",
+			f.Injected, f.Checked, f.Retries, f.RetryLatency.MeanNs, f.Exhausted, f.Remaps, f.SparesUsed)
+	}
 	b.WriteString(r.Metrics.Text())
 	_, err := io.WriteString(w, b.String())
 	return err

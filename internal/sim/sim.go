@@ -17,6 +17,7 @@ import (
 	"ladder/internal/core"
 	"ladder/internal/cpu"
 	"ladder/internal/energy"
+	"ladder/internal/fault"
 	"ladder/internal/memctrl"
 	"ladder/internal/metrics"
 	"ladder/internal/reram"
@@ -169,6 +170,18 @@ type Config struct {
 	// TraceSlowest sizes the slowest-writes digest (0 =
 	// tracing.DefaultSlowestK).
 	TraceSlowest int
+	// FaultRate enables write-fault injection: the base transient-failure
+	// probability of a zero-margin RESET pulse (see package fault and
+	// docs/FAULTS.md). 0 — the default — disables injection entirely and
+	// keeps runs cycle-identical to pre-fault builds.
+	FaultRate float64
+	// FaultSeed seeds the injector's private PRNG stream (0 = reuse Seed).
+	FaultSeed int64
+	// RetryMax caps program-and-verify reissues per write (0 = default 3).
+	RetryMax int
+	// SpareRows sizes each bank's spare-row pool (0 = default 32). A run
+	// that exhausts a pool fails with an error from Run.
+	SpareRows int
 }
 
 func (c *Config) applyDefaults() error {
@@ -253,6 +266,9 @@ type Result struct {
 	// Summary, and the Chrome trace is written separately
 	// (Trace.WriteChromeTrace).
 	Trace *tracing.Collector `json:"-"`
+	// Faults holds the fault-injection accounting, non-nil only when
+	// Config.FaultRate > 0.
+	Faults *fault.Stats
 }
 
 // subtractStats returns after-minus-before for the additive counters used
@@ -353,6 +369,14 @@ func exportRunMetrics(reg *metrics.Registry, res *Result, geom reram.Geometry, s
 		}
 	}
 	reg.SetCounter("core.meta_cache.evictions", evictions)
+	if res.Faults != nil {
+		reg.SetCounter("fault.checked", res.Faults.Checked)
+		reg.SetCounter("fault.injected", res.Faults.Injected)
+		reg.SetCounter("fault.retries", res.Faults.Retries)
+		reg.SetCounter("fault.exhausted", res.Faults.Exhausted)
+		reg.SetCounter("fault.remaps", res.Faults.Remaps)
+		reg.SetCounter("fault.spares_used", res.Faults.SparesUsed)
+	}
 	for i, w := range store.BankWrites() {
 		bank := i % geom.BanksPerRank
 		rank := (i / geom.BanksPerRank) % geom.RanksPerChannel

@@ -11,6 +11,7 @@ import (
 	"ladder/internal/cpu"
 	"ladder/internal/energy"
 	"ladder/internal/engine"
+	"ladder/internal/fault"
 	"ladder/internal/memctrl"
 	"ladder/internal/metrics"
 	"ladder/internal/reram"
@@ -48,6 +49,10 @@ type System struct {
 	expected  map[uint64]bits.Line
 	started   time.Time
 	tr        *tracing.Collector
+	// inj is the shared write-fault injector, nil unless FaultRate > 0.
+	// One instance serves every channel: the run is single-goroutine and
+	// actor order is deterministic, so the PRNG stream replays exactly.
+	inj *fault.Injector
 
 	eng      *engine.Engine
 	clock    *engine.Clock
@@ -105,6 +110,21 @@ func newSystem(cfg Config) (*System, error) {
 			Capacity:    cfg.TraceCapacity,
 			SlowestK:    cfg.TraceSlowest,
 		})
+	}
+	if cfg.FaultRate > 0 {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		s.inj, err = fault.NewInjector(fault.Config{
+			Rate:      cfg.FaultRate,
+			Seed:      seed,
+			RetryMax:  cfg.RetryMax,
+			SpareRows: cfg.SpareRows,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	if err := s.buildCores(profiles); err != nil {
@@ -192,6 +212,7 @@ func (s *System) buildControllers() error {
 		if err != nil {
 			return err
 		}
+		s.ctrls[ch].SetFaults(s.inj)
 		s.ctrls[ch].Instrument(s.reg, ch)
 		if s.tr != nil {
 			s.ctrls[ch].Trace(s.tr, ch)
@@ -220,7 +241,12 @@ func (s *System) buildWearLeveling() error {
 		for _, c := range s.ctrls {
 			c.SetRemap(func(loc reram.Location) reram.Location {
 				seg := int(cfg.Geom.GlobalRow(loc) / uint64(cfg.VWLSegmentRows))
-				phys := vwl.Phys(seg % vwl.Segments())
+				// The modulo keeps the segment in range, so Phys cannot
+				// fail here; an error would leave the location unmoved.
+				phys, err := vwl.Phys(seg % vwl.Segments())
+				if err != nil {
+					return loc
+				}
 				loc.WL = (loc.WL + phys) % cfg.Geom.MatRows
 				return loc
 			})
@@ -269,7 +295,7 @@ func (s *System) buildEngine() {
 		s.eng.Add(s.coreActs[i])
 	}
 	for _, c := range s.ctrls {
-		s.eng.Add(&ctrlActor{c: c})
+		s.eng.Add(&ctrlActor{sys: s, c: c})
 	}
 	if p := s.progressHook(); p != nil {
 		every := s.cfg.ProgressEvery
@@ -426,6 +452,9 @@ func (s *System) drain() error {
 			if c.Tick(now) {
 				active = true
 			}
+			if err := c.Err(); err != nil {
+				return err
+			}
 			if !c.Idle() {
 				idle = false
 			}
@@ -484,6 +513,10 @@ func (s *System) collect() (*Result, error) {
 	}
 	if s.vwl != nil {
 		res.GapMoves = s.vwl.Moves()
+	}
+	if s.inj != nil {
+		st := s.inj.Stats()
+		res.Faults = &st
 	}
 	if s.preCrash != nil {
 		res.PreCrashStats = s.preCrash
@@ -577,12 +610,21 @@ func (a *coreActor) NextEventAt(now uint64) uint64 {
 	return a.sys.cores[a.i].NextEventAt(now, a.sys.cfg.InstrPerCore)
 }
 
-// ctrlActor adapts a memory controller to the engine.
+// ctrlActor adapts a memory controller to the engine, surfacing
+// unrecoverable controller faults (spare-row pool exhaustion) through
+// the system's error slot.
 type ctrlActor struct {
-	c *memctrl.Controller
+	sys *System
+	c   *memctrl.Controller
 }
 
-func (a *ctrlActor) Advance(now uint64) bool       { return a.c.Tick(now) }
+func (a *ctrlActor) Advance(now uint64) bool {
+	active := a.c.Tick(now)
+	if err := a.c.Err(); err != nil && a.sys.err == nil {
+		a.sys.err = err
+	}
+	return active
+}
 func (a *ctrlActor) NextEventAt(now uint64) uint64 { return a.c.NextEventAt(now) }
 
 // crashActor injects the Section 7 power failure. It evaluates before

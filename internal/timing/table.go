@@ -89,6 +89,23 @@ func (t *Table) WorstCase() float64 {
 	return w
 }
 
+// EscalateContent returns the latency at the given location with the
+// content axis raised `steps` buckets above the bucket of clrs — the
+// program-and-verify retry ladder: each failed RESET reissues at the
+// next content bucket up, saturating at the worst bucket. A negative
+// clrs (a scheme without content knowledge) already programs worst-case
+// content, so escalation starts — and stays — at the worst bucket.
+func (t *Table) EscalateContent(wl, bl, clrs, steps int) float64 {
+	cb := Buckets - 1
+	if clrs >= 0 {
+		cb = t.bucketOf(clrs) + steps
+		if cb > Buckets-1 {
+			cb = Buckets - 1
+		}
+	}
+	return t.LatNs[t.bucketOf(wl)][t.bucketOf(bl)][cb]
+}
+
 // LocationOnly returns the latency assuming worst-case content at the
 // given location (the location-aware scheme of Figure 2).
 func (t *Table) LocationOnly(wl, bl int) float64 {

@@ -52,6 +52,10 @@ const (
 	// KindCoreStall is a processor-side episode: the span covers the
 	// cycles a core could not retire (MLP window full or queue rejection).
 	KindCoreStall
+	// KindWriteRetry is one program-and-verify reissue of a failed data
+	// RESET (fault-injection runs): the span covers the escalated pulse,
+	// while the original KindDataWrite span stays open across retries.
+	KindWriteRetry
 )
 
 // String returns the kind's track label.
@@ -69,6 +73,8 @@ func (k Kind) String() string {
 		return "meta-read"
 	case KindCoreStall:
 		return "stall"
+	case KindWriteRetry:
+		return "write-retry"
 	}
 	return "unknown"
 }

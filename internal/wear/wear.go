@@ -36,16 +36,18 @@ func NewStartGap(n, period int) (*StartGap, error) {
 	return &StartGap{n: n, gap: n, period: period}, nil
 }
 
-// Phys maps a logical segment to its physical slot (0..n inclusive).
-func (s *StartGap) Phys(logical int) int {
+// Phys maps a logical segment to its physical slot (0..n inclusive). An
+// out-of-range segment is reported as an error rather than a panic so a
+// mis-sized remap cannot crash a long experiment grid mid-run.
+func (s *StartGap) Phys(logical int) (int, error) {
 	if logical < 0 || logical >= s.n {
-		panic(fmt.Sprintf("wear: logical segment %d out of range 0..%d", logical, s.n-1))
+		return 0, fmt.Errorf("wear: logical segment %d out of range 0..%d", logical, s.n-1)
 	}
 	p := (logical + s.start) % s.n
 	if p >= s.gap {
 		p++
 	}
-	return p
+	return p, nil
 }
 
 // RecordWrite notes one write; when the period elapses the gap moves.

@@ -25,7 +25,10 @@ func TestStartGapBijective(t *testing.T) {
 	for step := 0; step < 500; step++ {
 		seen := make(map[int]bool, s.n)
 		for l := 0; l < s.n; l++ {
-			p := s.Phys(l)
+			p, err := s.Phys(l)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if p < 0 || p > s.n {
 				t.Fatalf("phys %d out of range", p)
 			}
@@ -61,11 +64,16 @@ func TestStartGapRotatesOverFullCycle(t *testing.T) {
 	// After (n+1) gap moves the start advances: segment 0's physical slot
 	// must eventually change, demonstrating wear migration.
 	s, _ := NewStartGap(8, 1)
-	initial := s.Phys(0)
+	initial, err := s.Phys(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	changed := false
 	for i := 0; i < (s.n+1)*s.n; i++ {
 		s.RecordWrite()
-		if s.Phys(0) != initial {
+		if p, err := s.Phys(0); err != nil {
+			t.Fatal(err)
+		} else if p != initial {
 			changed = true
 			break
 		}
@@ -75,14 +83,13 @@ func TestStartGapRotatesOverFullCycle(t *testing.T) {
 	}
 }
 
-func TestStartGapPanicsOutOfRange(t *testing.T) {
+func TestStartGapOutOfRangeError(t *testing.T) {
 	s, _ := NewStartGap(4, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	for _, logical := range []int{-1, 4, 100} {
+		if _, err := s.Phys(logical); err == nil {
+			t.Errorf("Phys(%d) on 4 segments should error", logical)
 		}
-	}()
-	s.Phys(4)
+	}
 }
 
 func TestRotateBytesRoundTrip(t *testing.T) {

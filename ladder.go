@@ -153,6 +153,14 @@ func VWLModeComparison(opts Options, scheme string) ([]Row, error) {
 	return sim.VWLModeComparison(opts, scheme)
 }
 
+// ReliabilitySweep runs the write-fault reliability study: retries per
+// 1000 data writes for each scheme × base fault rate, keyed
+// "scheme@rate". Pass nil for the default schemes and rates. See
+// docs/FAULTS.md.
+func ReliabilitySweep(opts Options, schemes []string, rates []float64) ([]Row, error) {
+	return sim.ReliabilitySweep(opts, schemes, rates)
+}
+
 // CacheSizeSweep ablates the LRS-metadata cache size (Section 6.3's
 // "<2% gain beyond 64 KB" observation). Pass nil for the default sizes.
 func CacheSizeSweep(opts Options, scheme string, sizesKB []int) ([]Row, error) {
