@@ -1,0 +1,150 @@
+// Command benchratchet enforces the repo's speed trend. It replays the
+// configuration of every committed BENCH_*.json anchor (workload ×
+// scheme at the anchors' fixed seed and instruction count), measures
+// fresh ladder.bench/v1 snapshots, and compares instr_per_sec against
+// the committed numbers: any anchor regressing by more than -threshold
+// fails the run with a nonzero exit, otherwise the trajectory table is
+// printed. CI runs this as the bench-ratchet job and uploads the fresh
+// snapshots as artifacts (see docs/PERFORMANCE.md for the anchor-update
+// policy).
+//
+// Usage:
+//
+//	benchratchet                  # compare against BENCH_*.json in the repo root
+//	benchratchet -out /tmp/fresh  # additionally write fresh snapshots there
+//	benchratchet -update          # rewrite the anchors in place (post-campaign refresh)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ladder"
+	"ladder/internal/sim"
+)
+
+func main() {
+	var (
+		anchors   = flag.String("anchors", "BENCH_*.json", "glob of committed anchor snapshots")
+		threshold = flag.Float64("threshold", 0.10, "fractional regression budget (0.10 = fail below 90% of the anchor)")
+		runs      = flag.Int("runs", 3, "measured runs per anchor; the fastest counts (damps scheduler noise)")
+		instr     = flag.Uint64("instr", 0, "instructions per core (0 = each anchor's own instructions_retired, so replays match the committed scale)")
+		seed      = flag.Int64("seed", 42, "simulation seed (matches the committed anchors)")
+		outDir    = flag.String("out", "", "write fresh snapshots into this directory (created if missing)")
+		update    = flag.Bool("update", false, "rewrite the anchor files in place with the fresh numbers")
+	)
+	flag.Parse()
+	if err := run(*anchors, *threshold, *runs, *instr, *seed, *outDir, *update); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(glob string, threshold float64, runs int, instr uint64, seed int64, outDir string, update bool) error {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return fmt.Errorf("benchratchet: bad -anchors glob: %w", err)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("benchratchet: no anchors match %q — nothing to ratchet", glob)
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("benchratchet: %w", err)
+		}
+	}
+
+	var comparisons []Comparison
+	for _, path := range paths {
+		anchor, err := LoadAnchor(path)
+		if err != nil {
+			return err
+		}
+		fresh, err := measure(anchor, runs, instr, seed)
+		if err != nil {
+			return err
+		}
+		comparisons = append(comparisons, Compare(
+			anchor.Doc.Name,
+			anchor.Doc.Metrics[speedMetric],
+			fresh.Metrics[speedMetric],
+			threshold,
+		))
+		if outDir != "" {
+			dst := filepath.Join(outDir, filepath.Base(path))
+			if err := writeBench(dst, fresh); err != nil {
+				return err
+			}
+		}
+		if update {
+			if err := writeBench(path, fresh); err != nil {
+				return err
+			}
+			fmt.Printf("refreshed %s\n", path)
+		}
+	}
+
+	fmt.Print(TrajectoryTable(comparisons))
+	if AnyRegression(comparisons) {
+		return fmt.Errorf("benchratchet: speed regression beyond %.0f%% budget (see table above)", threshold*100)
+	}
+	return nil
+}
+
+// measure replays one anchor's configuration: a warm-up run (timing
+// tables, page cache) followed by `runs` measured runs, keeping the
+// fastest snapshot — the ratchet compares capability, not scheduler
+// luck, and a conservative fresh number only ever under-fails.
+func measure(a Anchor, runs int, instr uint64, seed int64) (*sim.BenchReport, error) {
+	if instr == 0 {
+		// Replay at the anchor's own scale so the measured window matches
+		// the committed one (short runs amortize startup differently).
+		instr = uint64(a.Doc.Metrics["instructions_retired"])
+	}
+	if instr == 0 {
+		return nil, fmt.Errorf("benchratchet: anchor %s: no instructions_retired and no -instr override", a.Doc.Name)
+	}
+	cfg := ladder.Config{
+		Workload:     a.Doc.Workload,
+		Scheme:       a.Doc.Scheme,
+		InstrPerCore: instr,
+		Seed:         seed,
+	}
+	warm := cfg
+	warm.InstrPerCore = instr / 4
+	if warm.InstrPerCore > 0 {
+		if _, err := ladder.Run(warm); err != nil {
+			return nil, fmt.Errorf("benchratchet: warm-up %s: %w", a.Doc.Name, err)
+		}
+	}
+	var best *sim.BenchReport
+	for i := 0; i < runs; i++ {
+		res, err := ladder.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("benchratchet: measuring %s: %w", a.Doc.Name, err)
+		}
+		doc := ladder.NewReport(res).Bench(a.Doc.Name)
+		if best == nil || doc.Metrics[speedMetric] > best.Metrics[speedMetric] {
+			best = doc
+		}
+	}
+	return best, nil
+}
+
+// writeBench writes one fresh snapshot.
+func writeBench(path string, doc *sim.BenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("benchratchet: %w", err)
+	}
+	if err := doc.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("benchratchet: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"ladder/internal/sim"
+)
+
+// speedMetric is the ratcheted headline number: retired instructions per
+// wall-clock second. Anchors missing it are malformed — the ratchet has
+// nothing to enforce.
+const speedMetric = "instr_per_sec"
+
+// Anchor is one committed BENCH_*.json file: the workload/scheme
+// configuration to replay and the speed number the fresh run must not
+// regress past.
+type Anchor struct {
+	Path string
+	Doc  sim.BenchReport
+}
+
+// LoadAnchor reads and validates one committed bench snapshot. Errors
+// cover the cases the ratchet must fail loudly on rather than silently
+// skip: a missing file, malformed JSON, an unrecognized schema, and a
+// snapshot without a usable speed metric.
+func LoadAnchor(path string) (Anchor, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Anchor{}, fmt.Errorf("benchratchet: reading anchor: %w", err)
+	}
+	var doc sim.BenchReport
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return Anchor{}, fmt.Errorf("benchratchet: anchor %s: malformed JSON: %w", path, err)
+	}
+	if doc.Schema != sim.BenchSchema {
+		return Anchor{}, fmt.Errorf("benchratchet: anchor %s: schema %q, want %q", path, doc.Schema, sim.BenchSchema)
+	}
+	if doc.Workload == "" || doc.Scheme == "" {
+		return Anchor{}, fmt.Errorf("benchratchet: anchor %s: missing workload/scheme", path)
+	}
+	if ips := doc.Metrics[speedMetric]; ips <= 0 {
+		return Anchor{}, fmt.Errorf("benchratchet: anchor %s: missing or non-positive %s", path, speedMetric)
+	}
+	return Anchor{Path: path, Doc: doc}, nil
+}
+
+// Verdict classifies one anchor-vs-fresh comparison.
+type Verdict int
+
+const (
+	// VerdictOK: within the regression threshold of the anchor.
+	VerdictOK Verdict = iota
+	// VerdictImproved: faster than the anchor by more than the threshold —
+	// the anchor is stale and worth refreshing to ratchet the floor up.
+	VerdictImproved
+	// VerdictRegression: slower than the anchor by more than the
+	// threshold. Fails the run.
+	VerdictRegression
+)
+
+// String returns the verdict's table label.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictImproved:
+		return "improved (refresh anchor)"
+	case VerdictRegression:
+		return "REGRESSION"
+	}
+	return "unknown"
+}
+
+// Comparison is one row of the trajectory table.
+type Comparison struct {
+	Name      string
+	AnchorIPS float64
+	FreshIPS  float64
+	// Ratio is fresh/anchor: >1 is faster than the committed floor.
+	Ratio   float64
+	Verdict Verdict
+}
+
+// Compare judges a fresh speed measurement against its anchor. threshold
+// is the fractional regression budget (0.10 = fail below 90% of the
+// anchor); the same margin upward marks the anchor stale.
+func Compare(name string, anchorIPS, freshIPS, threshold float64) Comparison {
+	c := Comparison{
+		Name:      name,
+		AnchorIPS: anchorIPS,
+		FreshIPS:  freshIPS,
+		Ratio:     freshIPS / anchorIPS,
+	}
+	switch {
+	case c.Ratio < 1-threshold:
+		c.Verdict = VerdictRegression
+	case c.Ratio > 1+threshold:
+		c.Verdict = VerdictImproved
+	}
+	return c
+}
+
+// AnyRegression reports whether the run must fail.
+func AnyRegression(cs []Comparison) bool {
+	for _, c := range cs {
+		if c.Verdict == VerdictRegression {
+			return true
+		}
+	}
+	return false
+}
+
+// TrajectoryTable renders the comparisons as the aligned table the CI
+// log shows, sorted by name for stable output.
+func TrajectoryTable(cs []Comparison) string {
+	sorted := append([]Comparison(nil), cs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "anchor\tcommitted instr/s\tfresh instr/s\tratio\tverdict")
+	for _, c := range sorted {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2fx\t%s\n",
+			c.Name, c.AnchorIPS, c.FreshIPS, c.Ratio, c.Verdict)
+	}
+	tw.Flush()
+	return b.String()
+}

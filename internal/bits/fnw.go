@@ -1,5 +1,10 @@
 package bits
 
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
 // Flip-N-Write (Cho & Lee, MICRO 2009) and LADDER's constrained variant
 // (Section 3.3).
 //
@@ -27,34 +32,30 @@ type FNWResult struct {
 }
 
 // fnwEncode is the shared implementation; constrained selects LADDER's
-// extra rule.
+// extra rule. Each flip unit is exactly one 64-bit word, so the per-unit
+// change count, its inverse (storing ^word changes the 64-changed other
+// bits) and the ones balance all come from single OnesCount64 calls.
 func fnwEncode(old, neu *Line, constrained bool) FNWResult {
 	var res FNWResult
 	for u := 0; u < FNWUnits; u++ {
-		lo, hi := u*8, u*8+8
-		changed, ones, flipOnes := 0, 0, 0
-		for i := lo; i < hi; i++ {
-			changed += diffByte(old[i], neu[i])
-			ones += onesByte(neu[i])
-			flipOnes += 8 - onesByte(neu[i])
-		}
+		o := binary.LittleEndian.Uint64(old[u*8:])
+		w := binary.LittleEndian.Uint64(neu[u*8:])
+		changed := bits.OnesCount64(o ^ w)
 		// Bit changes if we store the inverted word instead. The stored flip
 		// bit itself also costs (up to) one change; we fold it in as the
 		// classic formulation does by requiring a strict win of >1... the
 		// common model charges the flip bit as one extra change.
-		flipChanged := 0
-		for i := lo; i < hi; i++ {
-			flipChanged += diffByte(old[i], ^neu[i])
-		}
+		flipChanged := 64 - changed
 		flip := flipChanged+1 < changed
-		if flip && constrained && flipOnes > ones {
-			flip = false
-			res.Canceled++
+		if flip && constrained {
+			ones := bits.OnesCount64(w)
+			if 64-ones > ones {
+				flip = false
+				res.Canceled++
+			}
 		}
 		if flip {
-			for i := lo; i < hi; i++ {
-				neu[i] = ^neu[i]
-			}
+			binary.LittleEndian.PutUint64(neu[u*8:], ^w)
 			res.Flips |= 1 << uint(u)
 			res.BitChanges += flipChanged + 1
 		} else {
@@ -85,24 +86,15 @@ func FNWDecode(stored *Line, flips uint8) {
 		if flips&(1<<uint(u)) == 0 {
 			continue
 		}
-		for i := u * 8; i < u*8+8; i++ {
-			stored[i] = ^stored[i]
-		}
+		binary.LittleEndian.PutUint64(stored[u*8:], ^binary.LittleEndian.Uint64(stored[u*8:]))
 	}
 }
-
-func diffByte(a, b byte) int { return onesByte(a ^ b) }
 
 var onesTable [256]uint8
 
 func init() {
 	for i := range onesTable {
-		v, n := i, 0
-		for v != 0 {
-			v &= v - 1
-			n++
-		}
-		onesTable[i] = uint8(n)
+		onesTable[i] = uint8(bits.OnesCount8(uint8(i)))
 	}
 }
 

@@ -74,6 +74,27 @@ func WorstBytePerSubgroup(l *Line) PartialCounters {
 	return pc
 }
 
+// partialSumTable maps a packed partial-counter byte to its four decoded
+// bounds spread across 16-bit lanes (subgroup g in bits 16g..16g+15), so
+// EstimateCwLRS accumulates all four subgroup sums with one table load and
+// one add per block. Lanes cannot overflow below 8191 blocks (max bound 8).
+var partialSumTable [256]uint64
+
+// lowSumTable is the analogue for 2-bit low-precision counters: the two
+// decoded bounds in 16-bit lanes 0 and 1.
+var lowSumTable [256]uint64
+
+func init() {
+	for p := range partialSumTable {
+		var v uint64
+		for g := 0; g < NumSubgroups; g++ {
+			v |= uint64(partialBound[(p>>(2*uint(g)))&3]) << (16 * uint(g))
+		}
+		partialSumTable[p] = v
+		lowSumTable[p] = uint64(lowBound[p&1]) | uint64(lowBound[(p>>1)&1])<<16
+	}
+}
+
 // EstimateCwLRS derives the estimated worst-case wordline LRS count from the
 // packed partial counters of every block in a wordline group, following
 // Equation 2: per subgroup, sum the decoded bounds across blocks; the
@@ -82,15 +103,29 @@ func WorstBytePerSubgroup(l *Line) PartialCounters {
 // wordline byte is covered exactly once per block, so the per-subgroup sum
 // bounds the ones in the wordline slice owned by that subgroup.
 func EstimateCwLRS(packed []uint8) int {
-	var sums [NumSubgroups]int
-	for _, p := range packed {
-		for g := 0; g < NumSubgroups; g++ {
-			sums[g] += int(partialBound[(p>>(2*uint(g)))&3])
+	if len(packed) > 4096 {
+		// Lane accumulation would overflow; fall back to scalar sums.
+		var sums [NumSubgroups]int
+		for _, p := range packed {
+			for g := 0; g < NumSubgroups; g++ {
+				sums[g] += int(partialBound[(p>>(2*uint(g)))&3])
+			}
 		}
+		max := 0
+		for _, s := range sums {
+			if s > max {
+				max = s
+			}
+		}
+		return max
+	}
+	var acc uint64
+	for _, p := range packed {
+		acc += partialSumTable[p]
 	}
 	max := 0
-	for _, s := range sums {
-		if s > max {
+	for g := 0; g < NumSubgroups; g++ {
+		if s := int((acc >> (16 * uint(g))) & 0xffff); s > max {
 			max = s
 		}
 	}
@@ -190,13 +225,24 @@ func DecodeLowPrecision(packed uint8) [2]uint8 {
 // low-precision counters of every block in the wordline group (analogue of
 // EstimateCwLRS for bottom rows).
 func EstimateCwLRSLow(packed []uint8) int {
-	var sums [2]int
+	if len(packed) > 4096 {
+		var sums [2]int
+		for _, p := range packed {
+			sums[0] += int(lowBound[p&1])
+			sums[1] += int(lowBound[(p>>1)&1])
+		}
+		if sums[0] > sums[1] {
+			return sums[0]
+		}
+		return sums[1]
+	}
+	var acc uint64
 	for _, p := range packed {
-		sums[0] += int(lowBound[p&1])
-		sums[1] += int(lowBound[(p>>1)&1])
+		acc += lowSumTable[p]
 	}
-	if sums[0] > sums[1] {
-		return sums[0]
+	s0, s1 := int(acc&0xffff), int((acc>>16)&0xffff)
+	if s0 > s1 {
+		return s0
 	}
-	return sums[1]
+	return s1
 }

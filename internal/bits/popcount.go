@@ -8,9 +8,17 @@
 // memory controller writes to the ReRAM main memory. A logical '1' stored in
 // a cell corresponds to the low-resistance state (LRS); counting ones is
 // therefore counting LRS cells.
+//
+// The helpers on this file are on the per-write hot path (FNW, LRS counting
+// and the Est/Hybrid estimators all popcount whole lines), so they operate
+// word-wise: eight bytes per step via math/bits.OnesCount64, with a SWAR
+// per-byte popcount network where per-byte resolution is needed.
 package bits
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // LineSize is the size in bytes of one memory block (cache line).
 const LineSize = 64
@@ -18,11 +26,34 @@ const LineSize = 64
 // Line is a 64-byte memory block as seen by the memory controller.
 type Line [LineSize]byte
 
+// lineWords is the number of 64-bit words per line.
+const lineWords = LineSize / 8
+
+// perBytePop returns the popcount of every byte of x in the corresponding
+// byte lane of the result (each lane holds 0..8) — the first three steps of
+// the classic SWAR popcount, stopped before the lanes are summed.
+func perBytePop(x uint64) uint64 {
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	return (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+}
+
+// worstLane returns the maximum byte-lane value of a perBytePop result.
+func worstLane(lanes uint64) int {
+	m := 0
+	for ; lanes != 0; lanes >>= 8 {
+		if c := int(lanes & 0xff); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
 // Ones returns the total number of '1' bits (LRS cells) in the line.
 func (l *Line) Ones() int {
 	n := 0
-	for _, b := range l {
-		n += bits.OnesCount8(b)
+	for o := 0; o < LineSize; o += 8 {
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(l[o:]))
 	}
 	return n
 }
@@ -30,6 +61,10 @@ func (l *Line) Ones() int {
 // CountOnes returns the number of '1' bits in an arbitrary byte slice.
 func CountOnes(p []byte) int {
 	n := 0
+	for len(p) >= 8 {
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+	}
 	for _, b := range p {
 		n += bits.OnesCount8(b)
 	}
@@ -41,6 +76,12 @@ func CountOnes(p []byte) int {
 // It returns 0 for an empty slice.
 func WorstByte(p []byte) int {
 	m := 0
+	for len(p) >= 8 {
+		if c := worstLane(perBytePop(binary.LittleEndian.Uint64(p))); c > m {
+			m = c
+		}
+		p = p[8:]
+	}
 	for _, b := range p {
 		if c := bits.OnesCount8(b); c > m {
 			m = c
@@ -58,7 +99,11 @@ func Diff(a, b []byte) int {
 		n = len(b)
 	}
 	d := 0
-	for i := 0; i < n; i++ {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d += bits.OnesCount64(binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < n; i++ {
 		d += bits.OnesCount8(a[i] ^ b[i])
 	}
 	return d
@@ -73,7 +118,15 @@ func SetsAndResets(old, neu []byte) (sets, resets int) {
 	if len(neu) < n {
 		n = len(neu)
 	}
-	for i := 0; i < n; i++ {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		o := binary.LittleEndian.Uint64(old[i:])
+		w := binary.LittleEndian.Uint64(neu[i:])
+		changed := o ^ w
+		sets += bits.OnesCount64(changed & w)
+		resets += bits.OnesCount64(changed &^ w)
+	}
+	for ; i < n; i++ {
 		changed := old[i] ^ neu[i]
 		sets += bits.OnesCount8(changed & neu[i])
 		resets += bits.OnesCount8(changed &^ neu[i])
@@ -84,8 +137,16 @@ func SetsAndResets(old, neu []byte) (sets, resets int) {
 // OnesPerByte fills dst with the popcount of every byte of p and returns the
 // number of entries written. dst must be at least len(p) long.
 func OnesPerByte(p []byte, dst []int) int {
-	for i, b := range p {
-		dst[i] = bits.OnesCount8(b)
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		lanes := perBytePop(binary.LittleEndian.Uint64(p[i:]))
+		for k := 0; k < 8; k++ {
+			dst[i+k] = int(lanes & 0xff)
+			lanes >>= 8
+		}
+	}
+	for ; i < len(p); i++ {
+		dst[i] = bits.OnesCount8(p[i])
 	}
 	return len(p)
 }

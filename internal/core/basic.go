@@ -54,7 +54,8 @@ func (s *Basic) Name() string { return "LADDER-Basic" }
 
 func (s *Basic) keys(req *WriteRequest) []uint64 {
 	ks := s.layout.BasicKeys(s.env.Geom.GlobalRow(req.Loc))
-	return ks[:]
+	// See Est.keys: reuse the request's MetaKeys backing.
+	return append(req.MetaKeys[:0], ks[0], ks[1])
 }
 
 // Enqueue implements Scheme: Basic stores the line unshifted, needs the

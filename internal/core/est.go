@@ -40,6 +40,11 @@ func NewEstCache(env *Env, shifting bool, cacheCfg MetaCacheConfig) (*Est, error
 	b.cache.SetInitializer(func(key uint64) MetaLine {
 		return estInitLine(env, key)
 	})
+	if shifting {
+		// Every dispatch samples the unshifted-layout C^w_lrs (Figure 15);
+		// incremental counters keep that a max instead of a 64-block scan.
+		env.Store.TrackUnshiftedCounters()
+	}
 	return &Est{ladderBase: b, shifting: shifting}, nil
 }
 
@@ -70,7 +75,9 @@ func (s *Est) Name() string {
 }
 
 func (s *Est) keys(req *WriteRequest) []uint64 {
-	return []uint64{s.layout.EstKey(s.env.Geom.GlobalRow(req.Loc))}
+	// Reuse the request's MetaKeys backing: with pooled requests the
+	// per-enqueue key derivation allocates nothing.
+	return append(req.MetaKeys[:0], s.layout.EstKey(s.env.Geom.GlobalRow(req.Loc)))
 }
 
 // Enqueue implements Scheme: shift, take partial counters, acquire the

@@ -35,6 +35,8 @@ func NewHybridCache(env *Env, cacheCfg MetaCacheConfig) (*Hybrid, error) {
 	b.cache.SetInitializer(func(key uint64) MetaLine {
 		return hybridInitLine(env, layout, key)
 	})
+	// Hybrid always shifts; see the matching call in NewEstCache.
+	env.Store.TrackUnshiftedCounters()
 	return &Hybrid{ladderBase: b, shifting: true}, nil
 }
 
@@ -75,7 +77,8 @@ func (s *Hybrid) SetLowPrecisionRows(n int) { s.layout.LowPrecisionRows = n }
 
 func (s *Hybrid) keys(req *WriteRequest) []uint64 {
 	key, _ := s.layout.HybridKey(req.Line, s.env.Geom.GlobalRow(req.Loc), req.Loc.WL)
-	return []uint64{key}
+	// See Est.keys: reuse the request's MetaKeys backing.
+	return append(req.MetaKeys[:0], key)
 }
 
 func (s *Hybrid) lowPrecision(req *WriteRequest) bool {

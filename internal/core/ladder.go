@@ -18,6 +18,12 @@ type ladderBase struct {
 	// FIFO order (paper: 16-entry spill buffer, drained when the
 	// scheduler switches modes).
 	spill []*WriteRequest
+	// auxScratch/wbScratch back acquire's return slices. The controller
+	// consumes both synchronously (it routes aux reads and writebacks
+	// before the next Enqueue/RetrySpill), so one buffer per scheme keeps
+	// the steady-state enqueue path allocation-free.
+	auxScratch []AuxRead
+	wbScratch  []MetaWriteback
 	// Estimator-accuracy instruments (nil when the run is not
 	// instrumented): whether the scheme's C^w_lrs at dispatch over-,
 	// under- or exactly predicted the accurate counter. Over-predictions
@@ -52,14 +58,12 @@ func (b *ladderBase) acquire(req *WriteRequest, keys []uint64) ([]AuxRead, []Met
 	req.MetaKeys = keys
 	req.MetaPending = 0
 	req.WaitMeta = false
-	var aux []AuxRead
-	var wbs []MetaWriteback
-	var held []uint64
-	for _, key := range keys {
+	aux := b.auxScratch[:0]
+	wbs := b.wbScratch[:0]
+	for i, key := range keys {
 		present, valid := b.cache.Lookup(key)
 		if present {
 			b.cache.AddSharer(key)
-			held = append(held, key)
 			if !valid {
 				// Fill already in flight for another request.
 				b.waiting[key] = append(b.waiting[key], req)
@@ -70,8 +74,10 @@ func (b *ladderBase) acquire(req *WriteRequest, keys []uint64) ([]AuxRead, []Met
 		loc := b.layout.MetaLoc(key, req.Loc)
 		wb, ok := b.cache.Reserve(key, loc)
 		if !ok {
-			// Roll back and spill: the request retries atomically later.
-			for _, h := range held {
+			// Roll back and spill: every key before this one gained a
+			// sharer (hit or successful reserve); the request retries
+			// atomically later.
+			for _, h := range keys[:i] {
 				b.cache.Release(h)
 			}
 			b.unwait(req)
@@ -80,19 +86,21 @@ func (b *ladderBase) acquire(req *WriteRequest, keys []uint64) ([]AuxRead, []Met
 			req.WaitMeta = true
 			b.spill = append(b.spill, req)
 			b.env.Stats.SpillParks++
+			b.wbScratch = wbs
 			return nil, wbs
 		}
 		if wb != nil {
 			wbs = append(wbs, *wb)
 			b.env.Stats.MetaWrites++
 		}
-		held = append(held, key)
 		b.waiting[key] = append(b.waiting[key], req)
 		req.MetaPending++
 		b.env.Stats.MetaReads++
 		b.env.Stats.MetaCacheMisses++
 		aux = append(aux, AuxRead{Kind: AuxMeta, Key: key, Loc: loc})
 	}
+	b.auxScratch = aux
+	b.wbScratch = wbs
 	if req.MetaPending > 0 {
 		req.WaitMeta = true
 	} else {

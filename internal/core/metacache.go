@@ -55,8 +55,11 @@ type metaEntry struct {
 // MetaCache is the LRS-metadata cache plus the backing metadata memory
 // image (the reserved region's persisted contents).
 type MetaCache struct {
-	cfg     MetaCacheConfig
-	sets    [][]metaEntry
+	cfg MetaCacheConfig
+	// entries is one flat slab of numSets×Ways ways; set s occupies
+	// entries[s*Ways : (s+1)*Ways]. One allocation instead of one per set
+	// — a cache is built per channel per run, and grid sweeps build many.
+	entries []metaEntry
 	numSets int
 	tick    uint64
 	// backing is the metadata region content as persisted in main
@@ -84,15 +87,12 @@ func NewMetaCache(cfg MetaCacheConfig) (*MetaCache, error) {
 		return nil, fmt.Errorf("core: spill buffer size must be positive")
 	}
 	numSets := lines / cfg.Ways
-	sets := make([][]metaEntry, numSets)
-	for i := range sets {
-		sets[i] = make([]metaEntry, cfg.Ways)
-	}
-	return &MetaCache{cfg: cfg, sets: sets, numSets: numSets, backing: make(map[uint64]MetaLine)}, nil
+	return &MetaCache{cfg: cfg, entries: make([]metaEntry, numSets*cfg.Ways), numSets: numSets, backing: make(map[uint64]MetaLine)}, nil
 }
 
 func (c *MetaCache) setOf(key uint64) []metaEntry {
-	return c.sets[int(mix64(key)%uint64(c.numSets))]
+	s := int(mix64(key) % uint64(c.numSets))
+	return c.entries[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
 }
 
 // find returns the way holding key, or nil.
@@ -228,13 +228,11 @@ func (c *MetaCache) SpillCapacity() int { return c.cfg.SpillSize }
 // losing a line out from under an in-flight write is a simulator bug, not
 // a device behavior.
 func (c *MetaCache) Crash() {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].state != entryInvalid && set[i].sharers > 0 {
-				panic("core: crash with in-flight sharers; drain the controller first")
-			}
-			set[i] = metaEntry{}
+	for i := range c.entries {
+		if c.entries[i].state != entryInvalid && c.entries[i].sharers > 0 {
+			panic("core: crash with in-flight sharers; drain the controller first")
 		}
+		c.entries[i] = metaEntry{}
 	}
 }
 

@@ -32,7 +32,7 @@ type Core struct {
 	mlp int
 
 	outstanding int
-	pending     *trace.Access
+	pending     trace.Access
 	gapLeft     int
 	retired     uint64
 	stallCycles uint64
@@ -59,9 +59,8 @@ func NewCore(id int, gen trace.Source, mlp int) (*Core, error) {
 
 // fetch pulls the next access from the trace.
 func (c *Core) fetch() {
-	a := c.gen.Next()
-	c.pending = &a
-	c.gapLeft = a.Gap
+	c.pending = c.gen.Next()
+	c.gapLeft = c.pending.Gap
 }
 
 // ID returns the core's index.
@@ -99,7 +98,7 @@ func (c *Core) Tick(issue IssueFunc) bool {
 		c.stalled = false
 		return true
 	}
-	a := c.pending
+	a := &c.pending
 	if !a.Write {
 		if c.outstanding >= c.mlp {
 			c.stallCycles++

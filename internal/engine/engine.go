@@ -137,13 +137,21 @@ func (e *Engine) Step() bool {
 	now := e.clock.Now()
 	e.processed = true
 	e.last = now
+	// Every actor just advanced, so each fresh NextEventAt subsumes any
+	// event it scheduled earlier: pushing only the minimum keeps the heap
+	// at O(1) churn per step instead of one push per actor. Stale entries
+	// from external Schedule calls still pop first if earlier.
+	next := Horizon
 	for _, a := range e.actors {
-		if n := a.NextEventAt(now); n != Horizon {
-			e.q.Push(n, nil)
+		if n := a.NextEventAt(now); n < next {
+			next = n
 		}
 	}
-	if active {
-		e.q.Push(now+1, nil)
+	if active && now+1 < next {
+		next = now + 1
+	}
+	if next != Horizon {
+		e.q.Push(next, nil)
 	}
 	if e.onProgress != nil && e.nextProgress <= now {
 		e.nextProgress = ((now+1)/e.progressEvery+1)*e.progressEvery - 1

@@ -138,6 +138,13 @@ type Controller struct {
 	// line address.
 	flips map[uint64]uint8
 
+	// freeReads/freeWrites recycle request objects: the controller retires
+	// requests strictly after their last reference drops (reads at
+	// delivery, writes after scheme completion), so the steady state
+	// allocates nothing per transaction.
+	freeReads  []*ReadReq
+	freeWrites []*core.WriteRequest
+
 	// remap, when set, adjusts decoded data locations (vertical wear
 	// leveling applies here: the paper places wear-leveling translation
 	// before LADDER, Figure 18a).
@@ -255,12 +262,11 @@ func (c *Controller) decode(line uint64) (reram.Location, error) {
 // leveling segment migration): it occupies a bank like a metadata write
 // but carries no scheme state.
 func (c *Controller) EnqueueMaintenance(loc reram.Location, now uint64) {
-	req := &core.WriteRequest{
-		Loc:          loc,
-		IsMeta:       true,
-		EnqueueCycle: now,
-		Clrs:         -1,
-	}
+	req := c.newWriteReq()
+	req.Loc = loc
+	req.IsMeta = true
+	req.EnqueueCycle = now
+	req.Clrs = -1
 	if c.tr != nil {
 		req.TraceRef = c.tr.Begin(tracing.KindMetaWrite, c.trChannel, c.bankOf(loc), -1, 0, now)
 	}
@@ -291,6 +297,30 @@ func (c *Controller) bankOf(loc reram.Location) int {
 	return loc.Rank*c.banksPerRank + loc.Bank
 }
 
+// newReadReq takes a zeroed read request from the freelist.
+func (c *Controller) newReadReq() *ReadReq {
+	if n := len(c.freeReads); n > 0 {
+		r := c.freeReads[n-1]
+		c.freeReads = c.freeReads[:n-1]
+		*r = ReadReq{}
+		return r
+	}
+	return &ReadReq{}
+}
+
+// newWriteReq takes a zeroed write request from the freelist, keeping the
+// MetaKeys backing array so scheme key derivation stays allocation-free.
+func (c *Controller) newWriteReq() *core.WriteRequest {
+	if n := len(c.freeWrites); n > 0 {
+		req := c.freeWrites[n-1]
+		c.freeWrites = c.freeWrites[:n-1]
+		keys := req.MetaKeys[:0]
+		*req = core.WriteRequest{MetaKeys: keys}
+		return req
+	}
+	return &core.WriteRequest{}
+}
+
 // ReadQueueLen and WriteQueueLen expose occupancies (testing/diagnostics).
 func (c *Controller) ReadQueueLen() int  { return len(c.rdq) }
 func (c *Controller) WriteQueueLen() int { return len(c.wrq) }
@@ -314,7 +344,8 @@ func (c *Controller) EnqueueRead(coreID int, line uint64, now uint64) bool {
 	if err != nil {
 		return false
 	}
-	r := &ReadReq{Kind: ReadData, Line: line, Loc: loc, Core: coreID, EnqueueTick: now}
+	r := c.newReadReq()
+	r.Kind, r.Line, r.Loc, r.Core, r.EnqueueTick = ReadData, line, loc, coreID, now
 	if c.tr != nil {
 		r.TraceRef = c.tr.Begin(tracing.KindDataRead, c.trChannel, c.bankOf(loc), coreID, line, now)
 	}
@@ -338,7 +369,8 @@ func (c *Controller) EnqueueWrite(line uint64, data bits.Line, now uint64) bool 
 	if err := c.env.Store.EnsureRow(line); err != nil {
 		return false
 	}
-	req := &core.WriteRequest{Line: line, Loc: loc, Data: data, EnqueueCycle: now, Clrs: -1}
+	req := c.newWriteReq()
+	req.Line, req.Loc, req.Data, req.EnqueueCycle, req.Clrs = line, loc, data, now, -1
 	if c.tr != nil {
 		req.TraceRef = c.tr.Begin(tracing.KindDataWrite, c.trChannel, c.bankOf(loc), -1, line, now)
 	}
@@ -357,7 +389,8 @@ func (c *Controller) routeAux(aux []core.AuxRead, now uint64) {
 		if a.Kind == core.AuxMeta {
 			kind = ReadMeta
 		}
-		r := &ReadReq{Kind: kind, Line: a.Key, Loc: a.Loc, EnqueueTick: now}
+		r := c.newReadReq()
+		r.Kind, r.Line, r.Loc, r.EnqueueTick = kind, a.Key, a.Loc, now
 		if kind == ReadSMB {
 			r.Target = c.findWrite(a.Key)
 		}
@@ -387,14 +420,13 @@ func (c *Controller) findWrite(line uint64) *core.WriteRequest {
 // entries.
 func (c *Controller) routeWritebacks(wbs []core.MetaWriteback, now uint64) {
 	for _, wb := range wbs {
-		req := &core.WriteRequest{
-			Line:         wb.Key,
-			Loc:          wb.Loc,
-			IsMeta:       true,
-			MetaKey:      wb.Key,
-			EnqueueCycle: now,
-			Clrs:         -1,
-		}
+		req := c.newWriteReq()
+		req.Line = wb.Key
+		req.Loc = wb.Loc
+		req.IsMeta = true
+		req.MetaKey = wb.Key
+		req.EnqueueCycle = now
+		req.Clrs = -1
 		if c.tr != nil {
 			req.TraceRef = c.tr.Begin(tracing.KindMetaWrite, c.trChannel, c.bankOf(wb.Loc), -1, wb.Key, now)
 		}
@@ -462,8 +494,9 @@ func (c *Controller) completeFinished(now uint64) bool {
 		completed = true
 		if op.read != nil {
 			c.finishRead(op.read, now)
-		} else {
-			c.finishWrite(op, now)
+			c.freeReads = append(c.freeReads, op.read)
+		} else if c.finishWrite(op, now) {
+			c.freeWrites = append(c.freeWrites, op.write)
 		}
 	}
 	c.inflight = kept
@@ -505,7 +538,9 @@ func (c *Controller) finishRead(r *ReadReq, now uint64) {
 // the scheme update its metadata. Under fault injection the pulse is
 // verified first: a failed RESET reissues with an escalated latency
 // instead of persisting, so the array only ever holds verified content.
-func (c *Controller) finishWrite(op busyOp, now uint64) {
+// It reports whether the request fully retired (false while a reissued
+// pulse keeps it in flight), so the caller knows when to recycle it.
+func (c *Controller) finishWrite(op busyOp, now uint64) bool {
 	req := op.write
 	if req.IsMeta {
 		if c.tr != nil && req.TraceRef != 0 {
@@ -515,20 +550,20 @@ func (c *Controller) finishWrite(op busyOp, now uint64) {
 		// eviction; here the device pays the array write.
 		c.meter.Write(op.latNs, core.MetaLineSize*2)
 		c.retrySpill(now)
-		return
+		return true
 	}
 	if c.tr != nil && op.retryRef != 0 {
 		c.tr.End(op.retryRef, now)
 	}
 	if c.inj != nil && !c.verifyWrite(op, now) {
-		return
+		return false
 	}
 	if c.tr != nil && req.TraceRef != 0 {
 		c.tr.End(req.TraceRef, now)
 	}
 	old, err := c.env.Store.Read(req.Line)
 	if err != nil {
-		return
+		return true
 	}
 	enc := req.Payload
 	var res bits.FNWResult
@@ -539,7 +574,7 @@ func (c *Controller) finishWrite(op busyOp, now uint64) {
 	}
 	c.flips[req.Line] = res.Flips
 	if _, err := c.env.Store.Write(req.Line, enc); err != nil {
-		return
+		return true
 	}
 	st := c.env.Stats
 	st.BitChanges += uint64(res.BitChanges)
@@ -550,6 +585,7 @@ func (c *Controller) finishWrite(op busyOp, now uint64) {
 	c.meter.Write(op.latNs, res.BitChanges)
 	c.routeWritebacks(c.scheme.Complete(req, old, enc), now)
 	c.retrySpill(now)
+	return true
 }
 
 // verifyWrite runs the program-and-verify check for a completed data

@@ -2,6 +2,7 @@ package reram
 
 import (
 	"fmt"
+	mbits "math/bits"
 
 	"ladder/internal/bits"
 )
@@ -15,6 +16,12 @@ type rowState struct {
 	// counters[m] counts the LRS cells on wordline m of the group (range
 	// 0..512 for 64 blocks × 8 bits).
 	counters [BlockSize]uint16
+	// unshifted[m] counts the LRS cells wordline m would hold if every
+	// block were reverse-shifted into the raw bit layout — maintained
+	// incrementally only when the store tracks unshifted counters, so
+	// MaxRowCounterUnshifted (called on every Est/Hybrid dispatch) avoids
+	// re-deriving 64 reverse shifts per call.
+	unshifted [BlockSize]uint16
 	// writes counts block writes landing in this row (wear tracking).
 	writes uint64
 }
@@ -49,6 +56,14 @@ type Store struct {
 	// residentTransform stores resident blocks through the scheme's
 	// datapath (SetResidentTransform).
 	residentTransform func(slot int, l bits.Line) bits.Line
+	// trackCols enables per-bitline LRS maintenance. Only the BLP
+	// baseline's profiling readout (MaxSelectedColCount) consumes it, and
+	// the bookkeeping touches every changed bit of every write, so runs of
+	// other schemes switch it off.
+	trackCols bool
+	// trackUnshifted enables incremental unshifted per-wordline counters
+	// (see rowState.unshifted).
+	trackUnshifted bool
 }
 
 // NewStore returns an empty content store over the given geometry.
@@ -61,8 +76,22 @@ func NewStore(g Geometry) (*Store, error) {
 		rows:       make(map[uint64]*rowState),
 		cols:       make(map[uint64]*colState),
 		bankWrites: make([]uint64, g.Banks()),
+		trackCols:  true,
 	}, nil
 }
+
+// SetColumnTracking switches per-bitline LRS maintenance on or off. It
+// must be called before the first write: counts accumulated while
+// tracking was off are not reconstructed. Tracking defaults to on;
+// simulation runs disable it for every scheme but BLP.
+func (s *Store) SetColumnTracking(on bool) { s.trackCols = on }
+
+// TrackUnshiftedCounters enables incremental per-wordline counters over
+// the reverse-shifted bit layout, turning MaxRowCounterUnshifted from a
+// 64-block reverse-shift scan into a counter max. Like SetColumnTracking
+// it must be enabled before the first write; shifting schemes (Est,
+// Hybrid) enable it at construction.
+func (s *Store) TrackUnshiftedCounters() { s.trackUnshifted = true }
 
 // SetResident enables synthetic resident data: when a wordline group is
 // first touched, every block is filled with structured pseudo-random
@@ -139,14 +168,20 @@ func (s *Store) ensure(key uint64, loc Location) *rowState {
 		return r
 	}
 	// Fill every block with resident data and build the counters.
-	matGroup := key / uint64(s.geom.MatRows)
-	cs := s.cols[matGroup]
-	if cs == nil {
-		cs = &colState{}
-		s.cols[matGroup] = cs
+	var cs *colState
+	if s.trackCols {
+		matGroup := key / uint64(s.geom.MatRows)
+		cs = s.cols[matGroup]
+		if cs == nil {
+			cs = &colState{}
+			s.cols[matGroup] = cs
+		}
 	}
 	rng := splitmix(s.residentSeed ^ key*0x9e3779b97f4a7c15)
 	hotDraws, coldOdds := residentParams(s.residentLevel)
+	// coldOdds is always a power of two, so the cold-byte draw reduces to a
+	// mask test (identical on the same rng stream).
+	coldMask := coldOdds - 1
 	// One dense byte position per 8-byte word position, fixed per row and
 	// aligned across blocks (the page-repetitive pattern real data shows).
 	var hotPos [BlockSize / 8]int
@@ -160,7 +195,7 @@ func (s *Store) ensure(key uint64, loc Location) *rowState {
 				var v byte
 				if pos == hotPos[w] {
 					v = residentHotByte(rng, hotDraws)
-				} else if rng.next()%coldOdds == 0 {
+				} else if rng.next()&coldMask == 0 {
 					v = 1 << (rng.next() & 7)
 				}
 				r.data[b][pos] = v
@@ -172,10 +207,21 @@ func (s *Store) ensure(key uint64, loc Location) *rowState {
 		base := b * 8
 		for m := 0; m < BlockSize; m++ {
 			c := r.data[b][m]
+			if c == 0 {
+				continue
+			}
 			r.counters[m] += uint16(onesOf(c))
-			for k := 0; k < 8; k++ {
-				if c&(1<<uint(k)) != 0 {
-					cs[m][base+k]++
+			if cs != nil {
+				for v := c; v != 0; v &= v - 1 {
+					cs[m][base+mbits.TrailingZeros8(v)]++
+				}
+			}
+		}
+		if s.trackUnshifted {
+			raw := bits.Unshifted(r.data[b], b)
+			for m := 0; m < BlockSize; m++ {
+				if raw[m] != 0 {
+					r.unshifted[m] += uint16(onesOf(raw[m]))
 				}
 			}
 		}
@@ -226,31 +272,42 @@ func (s *Store) Write(line uint64, data bits.Line) (old bits.Line, err error) {
 	r := s.ensure(key, loc)
 	old = r.data[loc.Slot]
 	for m := 0; m < BlockSize; m++ {
+		if old[m] == data[m] {
+			continue
+		}
 		delta := int(onesOf(data[m])) - int(onesOf(old[m]))
 		r.counters[m] = uint16(int(r.counters[m]) + delta)
 	}
-	// Update per-bitline counters for the changed bits.
-	matGroup := key / uint64(s.geom.MatRows)
-	cs := s.cols[matGroup]
-	if cs == nil {
-		cs = &colState{}
-		s.cols[matGroup] = cs
-	}
-	base := loc.Slot * 8
-	for m := 0; m < BlockSize; m++ {
-		changed := old[m] ^ data[m]
-		if changed == 0 {
-			continue
+	if s.trackCols {
+		// Update per-bitline counters for the changed bits.
+		matGroup := key / uint64(s.geom.MatRows)
+		cs := s.cols[matGroup]
+		if cs == nil {
+			cs = &colState{}
+			s.cols[matGroup] = cs
 		}
-		for k := 0; k < 8; k++ {
-			if changed&(1<<uint(k)) == 0 {
+		base := loc.Slot * 8
+		for m := 0; m < BlockSize; m++ {
+			changed := old[m] ^ data[m]
+			for v := changed; v != 0; v &= v - 1 {
+				k := mbits.TrailingZeros8(v)
+				if data[m]&(1<<uint(k)) != 0 {
+					cs[m][base+k]++
+				} else {
+					cs[m][base+k]--
+				}
+			}
+		}
+	}
+	if s.trackUnshifted {
+		rawOld := bits.Unshifted(old, loc.Slot)
+		rawNew := bits.Unshifted(data, loc.Slot)
+		for m := 0; m < BlockSize; m++ {
+			if rawOld[m] == rawNew[m] {
 				continue
 			}
-			if data[m]&(1<<uint(k)) != 0 {
-				cs[m][base+k]++
-			} else {
-				cs[m][base+k]--
-			}
+			delta := int(onesOf(rawNew[m])) - int(onesOf(rawOld[m]))
+			r.unshifted[m] = uint16(int(r.unshifted[m]) + delta)
 		}
 	}
 	r.data[loc.Slot] = data
@@ -296,6 +353,15 @@ func (s *Store) MaxRowCounterUnshifted(line uint64) (int, error) {
 	r := s.row(s.geom.GlobalRow(loc))
 	if r == nil {
 		return 0, nil
+	}
+	if s.trackUnshifted {
+		m := uint16(0)
+		for _, c := range r.unshifted {
+			if c > m {
+				m = c
+			}
+		}
+		return int(m), nil
 	}
 	var counters [BlockSize]int
 	for b := 0; b < BlocksPerRow; b++ {

@@ -95,6 +95,9 @@ func newSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-bitline LRS profiling feeds only the BLP baseline's readout;
+	// every other scheme skips that per-changed-bit bookkeeping.
+	s.store.SetColumnTracking(cfg.Scheme == SchemeBLP)
 	s.stats = &core.Stats{}
 	// Each run owns a private registry; RunGrid merges them afterward, so
 	// the observe paths stay lock-free (a run is single-goroutine).

@@ -1,0 +1,44 @@
+//go:build !race
+
+package tracing
+
+import "testing"
+
+// TestSpanEmissionAllocFree pins the collector's hot-path contract from
+// the package comment: after construction, Begin/Dispatch/End allocate
+// nothing — spans land in the preallocated ring and the slowest-K digest
+// shifts in place instead of walking off its backing array. The race
+// detector instruments allocations, so the file is excluded under -race.
+func TestSpanEmissionAllocFree(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, Capacity: 1024, SlowestK: 16})
+	// Warm-up: fill the slowest-K digest so the measured iterations
+	// exercise the eviction path, not the initial growth.
+	now := uint64(0)
+	emit := func() {
+		ref := c.Begin(KindDataWrite, 0, 0, -1, 0x40, now)
+		c.Dispatch(ref, now+10, 152.5, 3, 2, 4, false)
+		// Monotonically slower writes force an insert+evict every time.
+		c.End(ref, now+20+now/8)
+		now += 32
+	}
+	for i := 0; i < 64; i++ {
+		emit()
+	}
+	if n := testing.AllocsPerRun(200, emit); n != 0 {
+		t.Fatalf("span emission allocates %.0f per transaction, want 0", n)
+	}
+}
+
+// TestStallSpanAllocFree covers the read/stall flavor (no digest
+// competition) for completeness.
+func TestStallSpanAllocFree(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, Capacity: 256})
+	now := uint64(0)
+	if n := testing.AllocsPerRun(200, func() {
+		ref := c.Begin(KindCoreStall, -1, -1, 0, 0, now)
+		c.End(ref, now+5)
+		now += 8
+	}); n != 0 {
+		t.Fatalf("stall span emission allocates %.0f per episode, want 0", n)
+	}
+}

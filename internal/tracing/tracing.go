@@ -322,7 +322,11 @@ func (c *Collector) offerSlowest(s Span) {
 		if d <= c.slowest[0].TotalTicks() {
 			return
 		}
-		c.slowest = c.slowest[1:]
+		// Evict the quickest by shifting down in place: reslicing off the
+		// front would walk the slice along its backing array and force the
+		// append below to reallocate once the spare capacity runs out.
+		copy(c.slowest, c.slowest[1:])
+		c.slowest = c.slowest[:c.k-1]
 	}
 	i := sort.Search(len(c.slowest), func(i int) bool { return c.slowest[i].TotalTicks() > d })
 	c.slowest = append(c.slowest, Span{})
