@@ -8,6 +8,7 @@
 //	experiments                 # everything (several minutes)
 //	experiments -exp fig12      # one experiment
 //	experiments -instr 100000   # cheaper runs
+//	experiments -jobs 1         # sequential grid cells (default: one per CPU)
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		exp    = flag.String("exp", "all", "experiment: fig2 fig4 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table4 storage lifetime ablation wear vwlmode crash cachesize lowrows fnw reliability all")
 		instr  = flag.Uint64("instr", 150_000, "instructions per core per run")
 		seed   = flag.Int64("seed", 42, "simulation seed")
+		jobs   = flag.Int("jobs", 0, "grid cells simulated concurrently (0 = one worker per CPU; 1 = sequential)")
 		report = flag.String("report", "", "write a structured JSON grid report (per-cell summaries + merged metrics) to this file")
 		http   = flag.String("http", "", "serve live introspection (pprof + grid progress) on this address, e.g. :6060")
 
@@ -57,6 +59,8 @@ func main() {
 		fail(fmt.Errorf("-retry-max must be >= 1, got %d", *retryMax))
 	case *spareRows < 1:
 		fail(fmt.Errorf("-spare-rows must be >= 1, got %d", *spareRows))
+	case *jobs < 0:
+		fail(fmt.Errorf("-jobs must be >= 0 (0 = one worker per CPU), got %d", *jobs))
 	}
 
 	if *http != "" {
@@ -75,7 +79,7 @@ func main() {
 		gridProgress = func(p ladder.GridProgress) { srv.Publish("grid", p) }
 	}
 
-	opts := ladder.Options{Instr: *instr, Seed: *seed}
+	opts := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	// Cheap analytic experiments first.
@@ -90,7 +94,7 @@ func main() {
 	}
 
 	if want("fig2") {
-		grid := mustGrid(ladder.Options{Instr: *instr, Seed: *seed, Workloads: ladder.SingleWorkloads()},
+		grid := mustGrid(ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs, Workloads: ladder.SingleWorkloads()},
 			[]string{ladder.SchemeBaseline, ladder.SchemeLocAware, ladder.SchemeOracle})
 		printRows("Figure 2 — normalized IPC (worst-case vs location-aware vs data/location-aware)",
 			grid.Speedup(), grid.Schemes)
@@ -171,7 +175,7 @@ func main() {
 	}
 
 	if want("cachesize") {
-		sub := ladder.Options{Instr: *instr, Seed: *seed,
+		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs,
 			Workloads: []string{"lbm", "mcf", "mix-7"}}
 		rows, err := ladder.CacheSizeSweep(sub, ladder.SchemeHybrid, nil)
 		if err != nil {
@@ -182,7 +186,7 @@ func main() {
 	}
 
 	if want("reliability") {
-		sub := ladder.Options{Instr: *instr, Seed: *seed,
+		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs,
 			FaultSeed: *faultSeed, RetryMax: *retryMax, SpareRows: *spareRows,
 			Workloads: []string{"lbm", "mcf", "mix-7"}}
 		rates := []float64{0.001, 0.01}
@@ -205,7 +209,7 @@ func main() {
 	}
 
 	if want("lowrows") {
-		sub := ladder.Options{Instr: *instr, Seed: *seed,
+		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs,
 			Workloads: []string{"lbm", "mcf", "mix-7"}}
 		rows, err := ladder.LowPrecisionSweep(sub, nil)
 		if err != nil {

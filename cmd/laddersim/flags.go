@@ -21,3 +21,17 @@ func validateFlags(traceSample, traceSlowest int, faultRate float64, retryMax, s
 	}
 	return nil
 }
+
+// validateServeFlags rejects out-of-range service-mode knobs (see
+// docs/SERVICE.md for their semantics).
+func validateServeFlags(jobs, queueDepth, cacheSize int) error {
+	switch {
+	case jobs < 0:
+		return fmt.Errorf("-jobs must be >= 0 (0 = one worker per CPU), got %d", jobs)
+	case queueDepth < 1:
+		return fmt.Errorf("-queue-depth must be >= 1, got %d", queueDepth)
+	case cacheSize < 1:
+		return fmt.Errorf("-cache-size must be >= 1, got %d", cacheSize)
+	}
+	return nil
+}

@@ -46,3 +46,32 @@ func TestValidateFlags(t *testing.T) {
 		})
 	}
 }
+
+func TestValidateServeFlags(t *testing.T) {
+	cases := []struct {
+		name                        string
+		jobs, queueDepth, cacheSize int
+		wantErr                     string // empty = valid
+	}{
+		{"defaults", 0, 16, 64, ""},
+		{"explicit jobs", 8, 1, 1, ""},
+		{"negative jobs", -1, 16, 64, "-jobs"},
+		{"zero queue", 0, 0, 64, "-queue-depth"},
+		{"negative queue", 0, -2, 64, "-queue-depth"},
+		{"zero cache", 0, 16, 0, "-cache-size"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateServeFlags(c.jobs, c.queueDepth, c.cacheSize)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %v does not name the offending flag %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -1,9 +1,13 @@
 // Command laddersim runs one workload under one write scheme and prints
-// the measurements the paper's evaluation reports.
+// the measurements the paper's evaluation reports — or, with -serve,
+// stays resident as a simulation service: an HTTP job queue accepting
+// grid requests, deduplicating identical configurations and caching
+// completed reports (see docs/SERVICE.md).
 //
 // Usage:
 //
 //	laddersim -workload lbm -scheme LADDER-Hybrid -instr 200000
+//	laddersim -serve -http :8080
 package main
 
 import (
@@ -45,9 +49,19 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 0, "fault-injector PRNG seed (0 = reuse -seed)")
 		retryMax  = flag.Int("retry-max", 3, "program-and-verify reissue cap per write")
 		spareRows = flag.Int("spare-rows", 32, "per-bank spare-row pool for remapping failed rows")
+
+		serve      = flag.Bool("serve", false, "run as a long-lived simulation service: HTTP job queue on -http (default :8080; see docs/SERVICE.md)")
+		jobs       = flag.Int("jobs", 0, "grid cells simulated concurrently per job in -serve mode (0 = one per CPU)")
+		queueDepth = flag.Int("queue-depth", 16, "pending-job bound in -serve mode; a full queue rejects submissions with 503")
+		cacheSize  = flag.Int("cache-size", 64, "completed jobs retained (LRU) in -serve mode")
+		maxInstr   = flag.Uint64("max-instr", 10_000_000, "largest per-core instruction budget a -serve request may ask for")
 	)
 	flag.Parse()
 	if err := validateFlags(*traceSample, *traceSlowest, *faultRate, *retryMax, *spareRows); err != nil {
+		fmt.Fprintln(os.Stderr, "laddersim:", err)
+		os.Exit(2)
+	}
+	if err := validateServeFlags(*jobs, *queueDepth, *cacheSize); err != nil {
 		fmt.Fprintln(os.Stderr, "laddersim:", err)
 		os.Exit(2)
 	}
@@ -58,6 +72,20 @@ func main() {
 		fmt.Println("workloads:", strings.Join(ladder.Workloads(), " "))
 		fmt.Println("schemes:  ", strings.Join(ladder.SchemeNames(), " "))
 		return
+	}
+
+	if *serve {
+		addr := *httpAddr
+		if addr == "" {
+			addr = ":8080"
+		}
+		os.Exit(runServe(ctx, serveConfig{
+			addr:       addr,
+			jobs:       *jobs,
+			queueDepth: *queueDepth,
+			cacheSize:  *cacheSize,
+			maxInstr:   *maxInstr,
+		}))
 	}
 
 	cfg := ladder.Config{

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"ladder/internal/introspect"
+	"ladder/internal/service"
+)
+
+// serveConfig carries the -serve mode's resolved flags.
+type serveConfig struct {
+	addr       string
+	jobs       int
+	queueDepth int
+	cacheSize  int
+	maxInstr   uint64
+}
+
+// runServe turns the process into the long-running simulation service
+// (docs/SERVICE.md): the job-queue API mounted on the introspection
+// server — one listener carrying /jobs alongside /debug/pprof/, the
+// live /service and /metrics documents, and /stats — until the signal
+// context cancels. Returns the process exit code.
+func runServe(ctx context.Context, cfg serveConfig) int {
+	srv, err := introspect.New(cfg.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laddersim:", err)
+		return 1
+	}
+	svc := service.New(service.Config{
+		QueueDepth: cfg.queueDepth,
+		CacheSize:  cfg.cacheSize,
+		Jobs:       cfg.jobs,
+		MaxInstr:   cfg.maxInstr,
+	})
+	for _, pattern := range svc.Routes() {
+		srv.Handle(pattern, svc.Handler())
+	}
+	// Function-backed documents: re-evaluated per scrape, so queue and
+	// cache counters are always current (unlike the per-run snapshots a
+	// single simulation publishes at its progress cadence).
+	srv.PublishFunc("service", func() any { return svc.StatsSnapshot() })
+	srv.PublishFunc("metrics", func() any { return svc.MetricsSnapshot() })
+
+	fmt.Printf("laddersim service   http://%s/jobs (introspection at /, pprof under /debug/pprof/)\n", srv.Addr())
+	<-ctx.Done()
+	fmt.Println("laddersim: shutting down (in-flight job finishes its grid cells)")
+
+	// Stop the executor first so no new job starts, then drain HTTP with
+	// a bounded grace period.
+	svc.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		_ = srv.Close()
+	}
+	return 0
+}

@@ -10,7 +10,11 @@
 // hands them to Publish; handlers serve the last published copy. A
 // published value must therefore not be mutated afterwards; everything
 // the sim publishes (metrics.Snapshot, ProgressInfo, span slices) is
-// built fresh per hook invocation.
+// built fresh per hook invocation. Components with their own internal
+// locking can instead register function-backed documents (PublishFunc)
+// that are re-evaluated per request, and mount whole sub-APIs on the
+// same listener (Handle) — the seams the simulation-as-a-service mode
+// builds on (internal/service, docs/SERVICE.md).
 package introspect
 
 import (
@@ -29,9 +33,14 @@ type Server struct {
 	mu   sync.Mutex
 	vals map[string]any
 
+	mux  *http.ServeMux
 	ln   net.Listener
 	http *http.Server
 }
+
+// liveDoc marks a published value as function-backed: serveRoot calls it
+// per request instead of serving a frozen copy. See PublishFunc.
+type liveDoc func() any
 
 // New starts a server on addr (e.g. ":6060"; use "127.0.0.1:0" for an
 // ephemeral test port). The listener is bound synchronously — a bad
@@ -49,6 +58,7 @@ func New(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
 	s.http = &http.Server{Handler: mux}
 	go s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return s, nil
@@ -92,6 +102,35 @@ func (s *Server) Publish(name string, v any) {
 	s.mu.Unlock()
 }
 
+// PublishFunc registers a function-backed document: every GET /<name>
+// calls f and serves the fresh result, where Publish serves the stored
+// value as of the last publish. Use it for state that changes outside
+// the simulation's progress cadence (the job service's queue counters).
+// f runs on HTTP handler goroutines and must be safe for concurrent
+// calls; the value it returns must not be mutated afterwards. Safe on a
+// nil receiver (a no-op).
+func (s *Server) PublishFunc(name string, f func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.vals[name] = liveDoc(f)
+	s.mu.Unlock()
+}
+
+// Handle mounts an additional handler on the server's mux under the
+// given pattern (http.ServeMux syntax, method patterns included) —
+// the seam that lets the job-queue service share one listener with
+// pprof and the published documents. Patterns must not collide with the
+// built-in routes ("/", "/debug/pprof/..."); registration panics on a
+// duplicate pattern, like http.ServeMux. Safe on a nil receiver.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil {
+		return
+	}
+	s.mux.Handle(pattern, h)
+}
+
 // serveRoot serves "/" as an index of available documents and any
 // published document by name.
 func (s *Server) serveRoot(w http.ResponseWriter, r *http.Request) {
@@ -106,6 +145,9 @@ func (s *Server) serveRoot(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		http.NotFound(w, r)
 		return
+	}
+	if f, live := v.(liveDoc); live {
+		v = f()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -1,0 +1,516 @@
+// Package service turns the simulator into a long-running
+// simulation-as-a-service endpoint: an HTTP job queue that accepts
+// parameterized experiment requests (the JSON-resolved form of
+// sim.Options plus a scheme list), executes them as parallel grids on a
+// warm engine, and serves the resulting grid reports.
+//
+// The service is built for many clients submitting overlapping sweeps
+// against one process:
+//
+//   - Deduplication. Every request normalizes (defaults made explicit,
+//     scheme spellings canonicalized) and content-hashes; the hash is
+//     the job ID. A submission whose ID matches a queued or running job
+//     attaches to it instead of enqueueing a second execution, and one
+//     matching a completed job is answered from the report cache.
+//   - Caching. Completed reports are kept as marshaled bytes in a
+//     bounded LRU, so repeated submissions of a finished configuration
+//     are served byte-identically without re-simulating. Reports are
+//     deterministic for a fixed seed (see sim.RunGridCtx), so a cached
+//     report is exactly what a re-run would produce, wall-clock fields
+//     aside.
+//   - Backpressure. The pending queue is bounded; a submission that
+//     finds it full is rejected with 503 and counted, never silently
+//     dropped or unboundedly buffered.
+//   - Observability. Queue depth, running/deduped/rejected/cache-hit
+//     counts are kept in an internal metrics.Registry (names in
+//     docs/METRICS.md) and exposed through GET /stats and the
+//     introspection server's function-backed documents.
+//
+// Jobs execute one at a time in submission order on a single executor
+// goroutine — within a job, sim.RunGridCtx fans cells out over its own
+// worker pool — so the bounded queue is the only admission control
+// needed. Progress streams to subscribers over Server-Sent Events from
+// the grid's serialized progress callbacks. The full API reference,
+// with request/response schemas and a curl walkthrough, is
+// docs/SERVICE.md.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ladder/internal/metrics"
+	"ladder/internal/sim"
+	"ladder/internal/timing"
+)
+
+// Job states, as reported in status documents and SSE events.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Config parameterizes a Service. The zero value selects the defaults.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting to execute (running
+	// and completed jobs do not count). A submission that finds the
+	// queue full is rejected with 503. 0 = 16.
+	QueueDepth int
+	// CacheSize bounds the number of completed (done, failed or
+	// canceled) jobs retained, LRU by completion/last-hit order. An
+	// evicted job's report is forgotten; resubmitting its configuration
+	// re-simulates. 0 = 64.
+	CacheSize int
+	// Jobs is the per-grid worker-pool width forwarded to
+	// sim.Options.Jobs (0 = one worker per CPU).
+	Jobs int
+	// MaxInstr caps the per-core instruction budget a request may ask
+	// for, bounding the cost of any one job. 0 = 10M; negative values
+	// are not meaningful (validation treats the cap as disabled only if
+	// you set it explicitly high).
+	MaxInstr uint64
+	// Tables overrides the timing tables every job simulates with
+	// (nil = the full default 512×512 set). Primarily a test seam: the
+	// default set takes tens of seconds to generate cold.
+	Tables *timing.TableSet
+}
+
+func (c *Config) applyDefaults() {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxInstr == 0 {
+		c.MaxInstr = 10_000_000
+	}
+}
+
+// job is the service-side record of one submitted configuration.
+type job struct {
+	id    string
+	req   Request
+	state string
+	// done/total track grid-cell completion while running.
+	done, total int
+	errMsg      string
+	report      []byte // marshaled GridReport, state done only
+	dedups      uint64 // submissions that attached to this job
+	cancel      context.CancelFunc
+	subs        []chan []byte // SSE subscribers
+	submitted   time.Time
+	finished    time.Time
+}
+
+// Service is the job queue. Create with New, mount Handler on a
+// listener (or the introspection server), and Close on shutdown.
+type Service struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // submission order, for GET /jobs
+	queue   chan *job
+	lru     []string // completed job IDs, least recently used first
+	closed  bool
+	running int
+
+	// Counters mirrored into reg; all access is under mu (the registry's
+	// instruments are deliberately not atomic).
+	reg *metrics.Registry
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New starts a service: the executor goroutine runs until Close.
+func New(cfg Config) *Service {
+	cfg.applyDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueDepth),
+		reg:     metrics.NewRegistry(),
+		baseCtx: ctx,
+		stop:    cancel,
+	}
+	s.routes()
+	s.wg.Add(1)
+	go s.executor()
+	return s
+}
+
+// Handler returns the service's HTTP API (see docs/SERVICE.md): POST
+// /jobs, GET /jobs, GET /jobs/{id}, GET /jobs/{id}/report, GET
+// /jobs/{id}/events, DELETE /jobs/{id}, GET /stats, GET /healthz.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Routes lists the top-level patterns Handler serves, for mounting the
+// service onto a shared mux (introspect.Server.Handle).
+func (s *Service) Routes() []string {
+	return []string{"/jobs", "/jobs/", "/stats", "/healthz"}
+}
+
+// Close stops the executor and cancels any running job. Queued jobs are
+// marked canceled. Close blocks until the executor goroutine exits.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// MetricsSnapshot freezes the service's metrics registry — the
+// queue/cache/backpressure counters cataloged in docs/METRICS.md. Safe
+// for concurrent use; the introspection server publishes it as a
+// function-backed document.
+func (s *Service) MetricsSnapshot() metrics.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Gauge("service.queue.depth").Observe(float64(len(s.queue)))
+	s.reg.Gauge("service.jobs.running").Observe(float64(s.running))
+	return s.reg.Snapshot()
+}
+
+// Stats is the GET /stats document.
+type Stats struct {
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Running    int    `json:"running"`
+	Jobs       int    `json:"jobs"`
+	Cached     int    `json:"cached"`
+	Submitted  uint64 `json:"submitted"`
+	Deduped    uint64 `json:"deduped"`
+	Rejected   uint64 `json:"rejected"`
+	CacheHits  uint64 `json:"cache_hits"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Canceled   uint64 `json:"canceled"`
+	Evictions  uint64 `json:"cache_evictions"`
+}
+
+// StatsSnapshot builds the GET /stats document. Safe for concurrent use.
+func (s *Service) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := func(name string) uint64 { return s.reg.Counter(name).Value() }
+	return Stats{
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueDepth,
+		Running:    s.running,
+		Jobs:       len(s.order),
+		Cached:     len(s.lru),
+		Submitted:  c("service.jobs.submitted"),
+		Deduped:    c("service.jobs.deduped"),
+		Rejected:   c("service.jobs.rejected"),
+		CacheHits:  c("service.cache.hits"),
+		Completed:  c("service.jobs.completed"),
+		Failed:     c("service.jobs.failed"),
+		Canceled:   c("service.jobs.canceled"),
+		Evictions:  c("service.cache.evictions"),
+	}
+}
+
+// submitOutcome tells the HTTP layer how a submission resolved.
+type submitOutcome int
+
+const (
+	outcomeNew submitOutcome = iota
+	outcomeDeduped
+	outcomeCached
+	outcomeRejected
+	outcomeClosed
+)
+
+// submit resolves a normalized request to a job: a fresh enqueue, an
+// attach to an identical in-flight job, or a cache hit on a completed
+// one. Rejection (full queue, closing service) returns a nil job.
+func (s *Service) submit(req Request) (*job, submitOutcome) {
+	id := req.id()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, outcomeClosed
+	}
+	if j, ok := s.jobs[id]; ok {
+		switch j.state {
+		case StateQueued, StateRunning:
+			j.dedups++
+			s.reg.Counter("service.jobs.deduped").Inc()
+			return j, outcomeDeduped
+		default:
+			// Completed (done/failed/canceled): serve from cache and
+			// refresh its LRU position.
+			s.reg.Counter("service.cache.hits").Inc()
+			s.touchLocked(id)
+			return j, outcomeCached
+		}
+	}
+	j := &job{id: id, req: req, state: StateQueued, submitted: time.Now()}
+	select {
+	case s.queue <- j:
+	default:
+		s.reg.Counter("service.jobs.rejected").Inc()
+		return nil, outcomeRejected
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.reg.Counter("service.jobs.submitted").Inc()
+	s.reg.Gauge("service.queue.depth").Observe(float64(len(s.queue)))
+	return j, outcomeNew
+}
+
+// cancelJob cancels a job by ID. Queued jobs transition directly to
+// canceled (the executor skips them); running jobs get their context
+// canceled and transition when the grid unwinds. Completed jobs are
+// left as they are (false, "already finished").
+func (s *Service) cancelJob(id string) (ok bool, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, exists := s.jobs[id]
+	if !exists {
+		return false, "unknown job"
+	}
+	switch j.state {
+	case StateQueued:
+		s.finishLocked(j, StateCanceled, "canceled before execution", nil)
+		return true, ""
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true, ""
+	default:
+		return false, "already finished"
+	}
+}
+
+// executor drains the queue one job at a time, in submission order.
+func (s *Service) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			s.drainOnClose()
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// drainOnClose marks every still-queued job canceled after Close.
+func (s *Service) drainOnClose() {
+	for {
+		select {
+		case j := <-s.queue:
+			s.mu.Lock()
+			if j.state == StateQueued {
+				s.finishLocked(j, StateCanceled, "service shut down", nil)
+			}
+			s.mu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+// runJob executes one job's grid and stores the outcome.
+func (s *Service) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	s.running = 1
+	opts, schemes := j.req.options()
+	j.total = len(opts.Workloads) * len(schemes)
+	s.reg.Gauge("service.jobs.running").Observe(1)
+	s.broadcastLocked(j)
+	s.mu.Unlock()
+
+	opts.Jobs = s.cfg.Jobs
+	opts.Tables = s.cfg.Tables
+	opts.Progress = func(p sim.GridProgress) {
+		// Serialized by the grid's callback mutex; only the fields we
+		// update here are touched concurrently with status reads, and
+		// those reads also hold s.mu.
+		s.mu.Lock()
+		j.done, j.total = p.Done, p.Total
+		s.broadcastLocked(j)
+		s.mu.Unlock()
+	}
+
+	grid, err := sim.RunGridCtx(ctx, opts, schemes)
+	var report []byte
+	if err == nil {
+		var gr *sim.GridReport
+		if gr, err = sim.NewGridReport(grid); err == nil {
+			report, err = json.MarshalIndent(gr, "", "  ")
+		}
+	}
+
+	s.mu.Lock()
+	s.running = 0
+	s.reg.Gauge("service.jobs.running").Observe(0)
+	switch {
+	case err == nil:
+		s.finishLocked(j, StateDone, "", report)
+	case ctx.Err() != nil:
+		s.finishLocked(j, StateCanceled, fmt.Sprintf("canceled: %v", err), nil)
+	default:
+		s.finishLocked(j, StateFailed, err.Error(), nil)
+	}
+	s.mu.Unlock()
+}
+
+// finishLocked moves a job to a terminal state, publishes the terminal
+// event, releases subscribers, and enters the job into the completed
+// LRU (possibly evicting the oldest completed job entirely). Callers
+// hold s.mu.
+func (s *Service) finishLocked(j *job, state, errMsg string, report []byte) {
+	j.state = state
+	j.errMsg = errMsg
+	j.report = report
+	j.finished = time.Now()
+	j.cancel = nil
+	switch state {
+	case StateDone:
+		s.reg.Counter("service.jobs.completed").Inc()
+	case StateFailed:
+		s.reg.Counter("service.jobs.failed").Inc()
+	case StateCanceled:
+		s.reg.Counter("service.jobs.canceled").Inc()
+	}
+	s.broadcastLocked(j)
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	s.lru = append(s.lru, j.id)
+	for len(s.lru) > s.cfg.CacheSize {
+		evict := s.lru[0]
+		s.lru = s.lru[1:]
+		delete(s.jobs, evict)
+		for i, id := range s.order {
+			if id == evict {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.reg.Counter("service.cache.evictions").Inc()
+	}
+}
+
+// touchLocked refreshes a completed job's LRU position on a cache hit.
+func (s *Service) touchLocked(id string) {
+	for i, v := range s.lru {
+		if v == id {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			s.lru = append(s.lru, id)
+			return
+		}
+	}
+}
+
+// subscribe attaches an SSE subscriber to a job and returns its channel
+// plus the current status event. A terminal job returns a nil channel —
+// the current event is the last one. Channel sends never block: a
+// subscriber that falls more than a buffer behind loses intermediate
+// progress events but always receives the terminal one (the channel is
+// drained by the handler until closed).
+func (s *Service) subscribe(id string) (<-chan []byte, []byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	cur := j.statusEvent()
+	if j.state != StateQueued && j.state != StateRunning {
+		return nil, cur, true
+	}
+	ch := make(chan []byte, 64)
+	j.subs = append(j.subs, ch)
+	return ch, cur, true
+}
+
+// broadcastLocked pushes the job's current status event to every
+// subscriber. Callers hold s.mu. A full subscriber buffer drops the
+// event — except terminal events, which always land because the channel
+// buffer (64) exceeds any backlog a handler can leave while draining.
+func (s *Service) broadcastLocked(j *job) {
+	if len(j.subs) == 0 {
+		return
+	}
+	ev := j.statusEvent()
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Status is the job document served by GET /jobs/{id} and streamed over
+// SSE. Terminal states carry either ReportURL (done) or Error.
+type Status struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+	Dedups    uint64  `json:"dedups"`
+	Error     string  `json:"error,omitempty"`
+	ReportURL string  `json:"report_url,omitempty"`
+	Request   Request `json:"request"`
+}
+
+// statusLocked freezes a job's Status. Callers hold s.mu (or own the
+// job exclusively).
+func (j *job) statusLocked() Status {
+	st := Status{
+		ID:      j.id,
+		State:   j.state,
+		Done:    j.done,
+		Total:   j.total,
+		Dedups:  j.dedups,
+		Error:   j.errMsg,
+		Request: j.req,
+	}
+	if j.state == StateDone {
+		st.ReportURL = "/jobs/" + j.id + "/report"
+	}
+	return st
+}
+
+// statusEvent marshals the job's status for SSE delivery.
+func (j *job) statusEvent() []byte {
+	b, err := json.Marshal(j.statusLocked())
+	if err != nil {
+		// Status is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("service: marshaling status: %v", err))
+	}
+	return b
+}

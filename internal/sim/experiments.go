@@ -22,11 +22,31 @@ type Options struct {
 	Tables *timing.TableSet
 	// Workloads restricts the workload list (nil = all sixteen).
 	Workloads []string
+	// Jobs bounds how many grid cells simulate concurrently
+	// (0 = runtime.NumCPU()). Each cell is an independent run with its
+	// own store, Env and metrics registry, so any Jobs value produces
+	// the same Grid; reports derived from it are byte-identical across
+	// Jobs settings once volatile wall-clock fields are stripped
+	// (GridReport.StripVolatile). Jobs=1 recovers fully sequential
+	// execution.
+	Jobs int
 	// Progress, when set, is invoked after each grid cell finishes
-	// (successfully or not). Calls are serialized under the grid's result
-	// lock, so the callback needs no synchronization of its own but must
-	// stay cheap.
+	// (successfully or not). Invocations are serialized under the grid's
+	// callback mutex — the callback is never entered concurrently, so
+	// printProgress-style consumers need no locking of their own — but it
+	// runs on worker goroutines and must stay cheap; a slow callback
+	// stalls cell completion.
 	Progress func(GridProgress)
+	// CellProgress, when set, receives each running cell's periodic
+	// ProgressInfo (see Config.Progress) tagged with the cell identity.
+	// Like Progress, invocations from all workers are serialized under
+	// one mutex, so the callback needs no synchronization of its own.
+	// The cadence is governed by ProgressEvery.
+	CellProgress func(workload, scheme string, info ProgressInfo)
+	// ProgressEvery is the per-cell progress period in cycles forwarded
+	// to each run's Config.ProgressEvery (0 = the run default). Only
+	// meaningful with CellProgress set.
+	ProgressEvery uint64
 	// FaultSeed, RetryMax and SpareRows parameterize fault-injection
 	// cells (ReliabilitySweep); runs without a fault rate ignore them.
 	// Zero values select the defaults (see sim.Config).
@@ -36,6 +56,10 @@ type Options struct {
 }
 
 // GridProgress reports one finished cell of a running experiment grid.
+// Delivery is serialized (see Options.Progress): consumers never observe
+// two callbacks at once, and Done is monotonically increasing across
+// callbacks — though with Jobs > 1 the (Workload, Scheme) completion
+// order varies run to run.
 type GridProgress struct {
 	// Done cells out of Total have finished (including failures).
 	Done, Total int
@@ -73,18 +97,34 @@ type Grid struct {
 	Results map[string]map[string]*Result
 }
 
+// jobs resolves the worker-pool width.
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.NumCPU()
+}
+
 // RunGrid simulates every workload under every scheme. Runs are
 // independent (each builds its own memory image), so they execute on a
-// worker pool sized to the machine.
+// worker pool sized by Options.Jobs (default: one worker per CPU).
 func RunGrid(opts Options, schemes []string) (*Grid, error) {
 	return RunGridCtx(context.Background(), opts, schemes)
 }
 
-// RunGridCtx is RunGrid under a context: once ctx is canceled no further
-// cell is dispatched, already-running cells finish (a simulation is not
-// interruptible mid-cycle), and the context's error is reported alongside
-// any cell failures. A canceled grid is returned as an error, never as a
-// silently partial result.
+// RunGridCtx is RunGrid under a context: once ctx is canceled — or any
+// cell fails — no further cell is dispatched, already-running cells
+// finish (a simulation is not interruptible mid-cycle), and every
+// failure is reported via errors.Join alongside the context's error. A
+// canceled grid is returned as an error, never as a silently partial
+// result.
+//
+// Determinism: each cell runs with its own metrics registry and memory
+// image, and Grid/report iteration follows the Workloads×Schemes order
+// regardless of completion order, so the resulting Grid is independent
+// of Options.Jobs and of scheduling. User callbacks (Options.Progress,
+// Options.CellProgress) are serialized under one mutex and never run
+// concurrently with each other.
 func RunGridCtx(ctx context.Context, opts Options, schemes []string) (*Grid, error) {
 	g := &Grid{
 		Workloads: opts.workloads(),
@@ -108,36 +148,56 @@ func RunGridCtx(ctx context.Context, opts Options, schemes []string) (*Grid, err
 			cells = append(cells, cell{w, s})
 		}
 	}
+	// A cell failure cancels runCtx so queued cells never dispatch; the
+	// caller's ctx flows through, so external cancellation behaves the
+	// same way.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
-		mu      sync.Mutex
-		runErrs []error
-		done    int
-		wg      sync.WaitGroup
+		mu         sync.Mutex // guards results, errs, done
+		progressMu sync.Mutex // serializes user callbacks (Progress, CellProgress)
+		runErrs    []error
+		done       int
+		wg         sync.WaitGroup
 	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, opts.jobs())
 	for _, c := range cells {
-		if ctx.Err() != nil {
+		if runCtx.Err() != nil {
 			break
 		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(c cell) {
 			defer func() { <-sem; wg.Done() }()
-			res, err := Run(opts.config(c.w, c.s))
-			mu.Lock()
-			defer mu.Unlock()
-			done++
-			if opts.Progress != nil {
-				opts.Progress(GridProgress{Done: done, Total: len(cells), Workload: c.w, Scheme: c.s, Failed: err != nil})
+			cfg := opts.config(c.w, c.s)
+			if opts.CellProgress != nil {
+				cfg.ProgressEvery = opts.ProgressEvery
+				cfg.Progress = func(p ProgressInfo) {
+					progressMu.Lock()
+					defer progressMu.Unlock()
+					opts.CellProgress(c.w, c.s, p)
+				}
 			}
+			res, err := Run(cfg)
+			mu.Lock()
+			done++
+			n := done
 			if err != nil {
 				// Collect every cell's failure (cells are independent, so
 				// one bad workload name should not mask another's error);
-				// errors.Join reports them all.
+				// errors.Join reports them all. The cancel stops queued
+				// cells from dispatching after the first failure.
 				runErrs = append(runErrs, fmt.Errorf("running %s/%s: %w", c.w, c.s, err))
-				return
+				cancel()
+			} else {
+				g.Results[c.w][c.s] = res
 			}
-			g.Results[c.w][c.s] = res
+			mu.Unlock()
+			if opts.Progress != nil {
+				progressMu.Lock()
+				opts.Progress(GridProgress{Done: n, Total: len(cells), Workload: c.w, Scheme: c.s, Failed: err != nil})
+				progressMu.Unlock()
+			}
 		}(c)
 	}
 	wg.Wait()

@@ -324,3 +324,34 @@ func (g *GridReport) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(g)
 }
+
+// stripVolatileSnapshot removes host-timing artifacts from a metrics
+// snapshot in place (see GridReport.StripVolatile).
+func stripVolatileSnapshot(s *metrics.Snapshot) {
+	delete(s.Counters, "sim.wall_clock_us")
+}
+
+// StripVolatile zeroes every host-timing field of the report in place —
+// per-cell WallClockMS and the sim.wall_clock_us counter in the merged
+// metrics — and returns the receiver. Everything else in a grid report
+// is deterministic for a fixed seed, so two stripped reports of the same
+// configuration marshal byte-identically regardless of Options.Jobs or
+// host load. The parallel-determinism test and the service's cached
+// responses rely on this.
+func (g *GridReport) StripVolatile() *GridReport {
+	for i := range g.Cells {
+		g.Cells[i].WallClockMS = 0
+	}
+	stripVolatileSnapshot(&g.Metrics)
+	return g
+}
+
+// StripVolatile is the single-run counterpart of
+// GridReport.StripVolatile: it zeroes WallClockMS and removes the
+// wall-clock counter from the metrics snapshot, leaving only
+// seed-deterministic fields. Returns the receiver.
+func (r *Report) StripVolatile() *Report {
+	r.WallClockMS = 0
+	stripVolatileSnapshot(&r.Metrics)
+	return r
+}

@@ -151,7 +151,11 @@ type Config struct {
 	// Progress, when set, receives a periodic snapshot of run state every
 	// ProgressEvery cycles (long-run liveness without any printf in the
 	// hot loop). When nil, setting the LADDER_DEBUG environment variable
-	// wires a default printer to the same hook.
+	// wires a default printer to the same hook. The callback always runs
+	// on the run's single simulation goroutine, so it needs no internal
+	// locking against the run itself; under RunGridCtx each concurrent
+	// cell is its own run, and the grid-level hooks (Options.Progress,
+	// Options.CellProgress) add cross-cell serialization on top.
 	Progress func(ProgressInfo) `json:"-"`
 	// ProgressEvery is the progress-callback period in cycles (0 = every
 	// 5M cycles, i.e. 1.25 simulated milliseconds).

@@ -1,0 +1,33 @@
+#!/bin/sh
+# lint-pkgdoc.sh — fail if any Go package ships without a package doc
+# comment. Godoc only renders a comment that sits immediately above the
+# package clause in some file of the package, so that is exactly what we
+# look for: at least one non-test .go file per package whose `package X`
+# line is preceded by a `//` or `*/` comment line (no blank line between).
+#
+# Usage: scripts/lint-pkgdoc.sh   (from the repo root; CI runs it in the
+# lint job alongside gofmt and staticcheck)
+set -eu
+
+status=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	documented=0
+	for f in "$dir"/*.go; do
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		if awk '
+			/^package[ \t]/ { if (prev ~ /^\/\// || prev ~ /\*\/[ \t]*$/) found = 1; exit }
+			{ prev = $0 }
+			END { exit found ? 0 : 1 }
+		' "$f"; then
+			documented=1
+			break
+		fi
+	done
+	if [ "$documented" -eq 0 ]; then
+		echo "missing package doc comment: $dir" >&2
+		status=1
+	fi
+done
+exit $status
