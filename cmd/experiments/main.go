@@ -15,9 +15,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -48,19 +50,30 @@ func main() {
 
 		faultRate = flag.Float64("fault-rate", 0, "override the reliability sweep's fault-rate list with this single rate, in (0, 1); see docs/FAULTS.md")
 		faultSeed = flag.Int64("fault-seed", 0, "fault-injector PRNG seed for reliability runs (0 = reuse -seed)")
-		retryMax  = flag.Int("retry-max", 3, "program-and-verify reissue cap per write in reliability runs")
-		spareRows = flag.Int("spare-rows", 32, "per-bank spare-row pool in reliability runs")
+		retryMax  = flag.Int("retry-max", 3, "program-and-verify reissue cap per write in reliability runs (0 disables reissues)")
+		spareRows = flag.Int("spare-rows", 32, "per-bank spare-row pool in reliability runs (0 disables remapping)")
+
+		gapPeriods = flag.String("gap-periods", "", "comma-separated gap-move periods for the lifetime sweep (empty = defaults)")
+		spareGrid  = flag.String("spare-grid", "", "comma-separated spare-pool sizes for the lifetime sweep (empty = defaults)")
 	)
 	flag.Parse()
 	switch {
 	case *faultRate < 0 || *faultRate >= 1:
 		fail(fmt.Errorf("-fault-rate must be in [0, 1), got %g", *faultRate))
-	case *retryMax < 1:
-		fail(fmt.Errorf("-retry-max must be >= 1, got %d", *retryMax))
-	case *spareRows < 1:
-		fail(fmt.Errorf("-spare-rows must be >= 1, got %d", *spareRows))
+	case *retryMax < 0:
+		fail(fmt.Errorf("-retry-max must be >= 0 (0 disables reissues), got %d", *retryMax))
+	case *spareRows < 0:
+		fail(fmt.Errorf("-spare-rows must be >= 0 (0 disables remapping), got %d", *spareRows))
 	case *jobs < 0:
 		fail(fmt.Errorf("-jobs must be >= 0 (0 = one worker per CPU), got %d", *jobs))
+	}
+	periods, err := intList(*gapPeriods)
+	if err != nil {
+		fail(fmt.Errorf("-gap-periods: %w", err))
+	}
+	spares, err := intList(*spareGrid)
+	if err != nil {
+		fail(fmt.Errorf("-spare-grid: %w", err))
 	}
 
 	if *http != "" {
@@ -100,7 +113,7 @@ func main() {
 			grid.Speedup(), grid.Schemes)
 	}
 
-	needGrid := want("fig12") || want("fig13") || want("fig14") || want("fig16") || want("fig17") || want("lifetime") || want("fnw")
+	needGrid := want("fig12") || want("fig13") || want("fig14") || want("fig16") || want("fig17") || want("fnw")
 	if needGrid {
 		schemes := ladder.FigureSchemes()
 		grid := mustGrid(opts, schemes)
@@ -121,10 +134,6 @@ func main() {
 		}
 		if want("fig17") {
 			printEnergy(grid)
-		}
-		if want("lifetime") {
-			printRows("Section 6.4 — relative lifetime under ideal wear leveling",
-				grid.RelativeLifetime(), []string{ladder.SchemeBasic, ladder.SchemeEst, ladder.SchemeHybrid})
 		}
 		if want("fnw") {
 			printRows("Section 6.1 — FNW flip cancellations (fraction of units; paper <4%)",
@@ -154,6 +163,18 @@ func main() {
 		}
 		printRows("Section 6.4 — IPC with VWL enabled relative to without (paper ≈99%)",
 			rows, []string{"ipc-ratio", "gap-moves"})
+	}
+
+	if want("lifetime") {
+		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs,
+			Workloads: []string{"lbm", "mcf", "mix-7"}}
+		study, err := ladder.LifetimeSweep(sub, ladder.SchemeHybrid, periods, spares)
+		if err != nil {
+			fail(err)
+		}
+		lifetimeStudy = study
+		printRows("Decoder lifetime sweep — relative lifetime and IPC ratio vs gap-move period × spare pool",
+			study.Rows(), study.Series())
 	}
 
 	if want("vwlmode") {
@@ -220,34 +241,73 @@ func main() {
 	}
 
 	if *report != "" {
+		// -exp lifetime serializes the sweep study; every other
+		// experiment serializes the grid it built.
+		if *exp == "lifetime" {
+			if lifetimeStudy == nil {
+				fail(fmt.Errorf("-report with -exp lifetime needs the sweep to have run"))
+			}
+			writeReport(*report, "lifetime report", lifetimeStudy.Report().WriteJSON)
+			return
+		}
 		if mainFigureGrid != nil {
 			reportGrid = mainFigureGrid
 		}
 		if reportGrid == nil {
-			fail(fmt.Errorf("-report needs a grid experiment (fig2/fig12..fig17/fig15/lifetime/fnw or all)"))
+			fail(fmt.Errorf("-report needs a grid experiment (fig2/fig12..fig17/fig15/fnw or all)"))
 		}
 		gr, err := ladder.NewGridReport(reportGrid)
 		if err != nil {
 			fail(err)
 		}
-		f, err := os.Create(*report)
-		if err != nil {
-			fail(err)
-		}
-		if err := gr.WriteJSON(f); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
-			fail(err)
-		}
-		fmt.Printf("\ngrid report written to %s\n", *report)
+		writeReport(*report, "grid report", gr.WriteJSON)
 	}
+}
+
+// writeReport creates path and streams a JSON document into it via emit.
+func writeReport(path, kind string, emit func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%s written to %s\n", kind, path)
+}
+
+// intList parses a comma-separated list of non-negative integers; an
+// empty string yields nil (caller-defined defaults).
+func intList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("values must be >= 0, got %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // reportGrid is the grid -report serializes: the main figure grid when
 // it runs (mainFigureGrid), otherwise the last grid any experiment built.
 var reportGrid, mainFigureGrid *ladder.Grid
+
+// lifetimeStudy holds the decoder lifetime sweep when it ran, for
+// -report under -exp lifetime.
+var lifetimeStudy *ladder.LifetimeStudy
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)

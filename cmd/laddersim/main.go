@@ -45,10 +45,12 @@ func main() {
 		traceSlowest = flag.Int("trace-slowest", 0, "print the N slowest traced writes after the run (enables tracing)")
 		httpAddr     = flag.String("http", "", "serve live introspection (pprof, metrics, progress, spans) on this address, e.g. :6060")
 
-		faultRate = flag.Float64("fault-rate", 0, "base transient write-fault probability in [0, 1); 0 disables injection (see docs/FAULTS.md)")
-		faultSeed = flag.Int64("fault-seed", 0, "fault-injector PRNG seed (0 = reuse -seed)")
-		retryMax  = flag.Int("retry-max", 3, "program-and-verify reissue cap per write")
-		spareRows = flag.Int("spare-rows", 32, "per-bank spare-row pool for remapping failed rows")
+		faultRate     = flag.Float64("fault-rate", 0, "base transient write-fault probability in [0, 1); 0 disables injection (see docs/FAULTS.md)")
+		faultSeed     = flag.Int64("fault-seed", 0, "fault-injector PRNG seed (0 = reuse -seed)")
+		retryMax      = flag.Int("retry-max", 3, "program-and-verify reissue cap per write (0 disables reissues)")
+		spareRows     = flag.Int("spare-rows", 32, "per-bank spare-row pool for remapping failed rows (0 disables remapping)")
+		remapPenalty  = flag.Float64("remap-penalty", 2, "extra decoder-indirection latency in ns charged to accesses of remapped rows (0 = free; see docs/REMAP.md)")
+		proactiveWear = flag.Uint64("proactive-wear", 0, "proactively retire rows whose effective write count reaches this limit (0 disables; see docs/REMAP.md)")
 
 		serve      = flag.Bool("serve", false, "run as a long-lived simulation service: HTTP job queue on -http (default :8080; see docs/SERVICE.md)")
 		jobs       = flag.Int("jobs", 0, "grid cells simulated concurrently per job in -serve mode (0 = one per CPU)")
@@ -57,7 +59,7 @@ func main() {
 		maxInstr   = flag.Uint64("max-instr", 10_000_000, "largest per-core instruction budget a -serve request may ask for")
 	)
 	flag.Parse()
-	if err := validateFlags(*traceSample, *traceSlowest, *faultRate, *retryMax, *spareRows); err != nil {
+	if err := validateFlags(*traceSample, *traceSlowest, *faultRate, *retryMax, *spareRows, *remapPenalty); err != nil {
 		fmt.Fprintln(os.Stderr, "laddersim:", err)
 		os.Exit(2)
 	}
@@ -99,8 +101,11 @@ func main() {
 		TraceFile:    *traceIn,
 		FaultRate:    *faultRate,
 		FaultSeed:    *faultSeed,
-		RetryMax:     *retryMax,
-		SpareRows:    *spareRows,
+		RetryMax:     flagCount(*retryMax),
+		SpareRows:    flagCount(*spareRows),
+
+		RemapPenaltyNs:     flagNs(*remapPenalty),
+		ProactiveWearLimit: *proactiveWear,
 	}
 	// -http implies tracing so the live /spans feed has content.
 	if *traceOut != "" || *traceSlowest > 0 || *httpAddr != "" {
@@ -185,8 +190,12 @@ func main() {
 	fmt.Printf("RESET latency       n=%d mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f ns\n",
 		rl.Count, rl.MeanNs, rl.P50Ns, rl.P95Ns, rl.P99Ns, rl.MaxNs)
 	if f := rep.Faults; f != nil {
-		fmt.Printf("faults              %d injected / %d checked, %d retries (mean %.1f ns), %d exhausted, %d rows remapped (%d spares used)\n",
-			f.Injected, f.Checked, f.Retries, f.RetryLatency.MeanNs, f.Exhausted, f.Remaps, f.SparesUsed)
+		fmt.Printf("faults              %d injected / %d checked, %d retries (mean %.1f ns), %d exhausted\n",
+			f.Injected, f.Checked, f.Retries, f.RetryLatency.MeanNs, f.Exhausted)
+	}
+	if m := rep.Remap; m != nil {
+		fmt.Printf("remap               %d gap moves, %d spare remaps (%d spares used), %d penalty ticks\n",
+			m.GapMoves, m.SpareRemaps, m.SparesUsed, m.PenaltyTicks)
 	}
 	fmt.Printf("wall clock          %.1f ms\n", rep.WallClockMS)
 	if *showMet {

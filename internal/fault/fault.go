@@ -1,12 +1,13 @@
-// Package fault implements deterministic write-fault injection and the
-// bookkeeping for graceful row degradation: a seeded, reproducible model
-// of transient RESET failures whose probability is a U-shaped function
-// of the pulse's latency margin over the timing-table requirement
-// (under-provisioning risks incomplete switching, over-provisioning
-// risks over-RESET stress and disturb — see probability), permanent
-// wear-out faults driven by per-row write counts against the wear
-// lifetime model, and a WoLFRaM-style per-bank spare-row pool that rows
-// remap into once program-and-verify retries exhaust.
+// Package fault implements deterministic write-fault injection: a
+// seeded, reproducible model of transient RESET failures whose
+// probability is a U-shaped function of the pulse's latency margin over
+// the timing-table requirement (under-provisioning risks incomplete
+// switching, over-provisioning risks over-RESET stress and disturb —
+// see probability), and permanent wear-out faults driven by effective
+// per-row write counts against the wear lifetime model. The injector
+// issues verdicts only; row relocation — the spare-row pools, the remap
+// tables, and the indirection penalties failed rows pay afterward —
+// is owned by the programmable address decoder in package remap.
 //
 // Determinism contract: the injector draws one pseudo-random number per
 // transient check from a splitmix64 stream seeded by Config.Seed, in the
@@ -21,19 +22,18 @@ import (
 	"fmt"
 )
 
+// UseDefault is the sentinel distinguishing "unset, use the default"
+// from an explicit zero: RetryMax = UseDefault selects DefaultRetryMax,
+// while RetryMax = 0 genuinely disables program-and-verify reissues.
+const UseDefault = -1
+
 // Default knobs; see Config.
 const (
 	// DefaultRetryMax is the program-and-verify reissue cap per write.
 	DefaultRetryMax = 3
-	// DefaultSpareRows is each bank's spare-row pool size.
-	DefaultSpareRows = 32
 	// DefaultWearLimit is the per-row write count at which permanent
 	// stuck-at faults appear (the wear package's 1e8-cycle endurance).
 	DefaultWearLimit = 100_000_000
-	// DefaultRemapPenaltyNs is the remap-table indirection charged on
-	// every access to a remapped row (a small CAM lookup in the bank
-	// periphery).
-	DefaultRemapPenaltyNs = 2
 )
 
 // Margin-response constants of the transient model (see probability):
@@ -52,46 +52,34 @@ type Config struct {
 	Rate float64
 	// Seed seeds the injector's private PRNG stream.
 	Seed int64
-	// RetryMax caps program-and-verify reissues per write (0 = default).
+	// RetryMax caps program-and-verify reissues per write. UseDefault
+	// selects DefaultRetryMax; an explicit 0 disables reissues entirely
+	// (every transient failure goes straight to the remap path).
 	RetryMax int
-	// SpareRows sizes each bank's spare-row pool (0 = default).
-	SpareRows int
 	// WearLimit is the effective per-row write count beyond which writes
 	// fail permanently until the row is remapped (0 = default 1e8).
 	WearLimit uint64
-	// RemapPenaltyNs is the indirection latency charged on accesses to
-	// remapped rows (0 = default 2 ns; negative is invalid).
-	RemapPenaltyNs float64
 }
 
-// withDefaults fills zero fields.
+// withDefaults fills unset fields, resolving the UseDefault sentinel.
 func (c Config) withDefaults() Config {
-	if c.RetryMax == 0 {
+	if c.RetryMax == UseDefault {
 		c.RetryMax = DefaultRetryMax
-	}
-	if c.SpareRows == 0 {
-		c.SpareRows = DefaultSpareRows
 	}
 	if c.WearLimit == 0 {
 		c.WearLimit = DefaultWearLimit
 	}
-	if c.RemapPenaltyNs == 0 {
-		c.RemapPenaltyNs = DefaultRemapPenaltyNs
-	}
 	return c
 }
 
-// Validate reports whether the configuration is usable (after defaults).
+// Validate reports whether the configuration is usable (after the
+// UseDefault sentinel is resolved).
 func (c Config) Validate() error {
 	switch {
 	case c.Rate < 0 || c.Rate >= 1:
 		return fmt.Errorf("fault: rate %v out of [0, 1)", c.Rate)
 	case c.RetryMax < 0:
 		return fmt.Errorf("fault: retry cap %d must be non-negative", c.RetryMax)
-	case c.SpareRows < 0:
-		return fmt.Errorf("fault: spare-row pool %d must be non-negative", c.SpareRows)
-	case c.RemapPenaltyNs < 0:
-		return fmt.Errorf("fault: remap penalty %v must be non-negative", c.RemapPenaltyNs)
 	}
 	return nil
 }
@@ -137,17 +125,6 @@ type Stats struct {
 	Retries uint64 `json:"retries"`
 	// Exhausted counts writes whose transient retries hit the cap.
 	Exhausted uint64 `json:"exhausted"`
-	// Remaps counts rows moved to a spare; SparesUsed counts pool slots
-	// consumed (equal unless a remapped row wears out its spare too).
-	Remaps     uint64 `json:"remaps"`
-	SparesUsed uint64 `json:"spares_used"`
-}
-
-// remapEntry records one row's relocation to a spare: baseWrites is the
-// row's write count at remap time, so wear on the fresh spare is counted
-// from zero.
-type remapEntry struct {
-	baseWrites uint64
 }
 
 // splitmixState is the splitmix64 PRNG (same recurrence the store uses
@@ -174,10 +151,6 @@ type Injector struct {
 	cfg   Config
 	rng   splitmixState
 	stats Stats
-	// remapped maps a global row to its spare-row relocation.
-	remapped map[uint64]remapEntry
-	// spareUsed counts consumed pool slots per bank key.
-	spareUsed map[int]int
 }
 
 // NewInjector builds an injector, applying defaults then validating.
@@ -187,33 +160,28 @@ func NewInjector(cfg Config) (*Injector, error) {
 		return nil, err
 	}
 	return &Injector{
-		cfg:       cfg,
-		rng:       splitmixState{x: uint64(cfg.Seed) ^ 0xfa017ab1e5},
-		remapped:  make(map[uint64]remapEntry),
-		spareUsed: make(map[int]int),
+		cfg: cfg,
+		rng: splitmixState{x: uint64(cfg.Seed) ^ 0xfa017ab1e5},
 	}, nil
 }
 
 // RetryMax returns the program-and-verify reissue cap.
 func (in *Injector) RetryMax() int { return in.cfg.RetryMax }
 
-// PenaltyNs returns the remap-table indirection latency.
-func (in *Injector) PenaltyNs() float64 { return in.cfg.RemapPenaltyNs }
-
 // Rate returns the configured base transient rate.
 func (in *Injector) Rate() float64 { return in.cfg.Rate }
 
-// Stats returns a copy of the cumulative accounting.
-func (in *Injector) Stats() Stats { return in.stats }
+// WearLimit returns the effective per-row write count at which writes
+// fail permanently.
+func (in *Injector) WearLimit() uint64 { return in.cfg.WearLimit }
 
-// Remapped reports whether a global row has been relocated to a spare
-// (accesses to it pay the remap-table penalty). Safe on nil.
-func (in *Injector) Remapped(globalRow uint64) bool {
+// Stats returns a copy of the cumulative accounting. Safe on nil
+// (zero value).
+func (in *Injector) Stats() Stats {
 	if in == nil {
-		return false
+		return Stats{}
 	}
-	_, ok := in.remapped[globalRow]
-	return ok
+	return in.stats
 }
 
 // probability maps a pulse's latency margin to its failure probability.
@@ -255,15 +223,12 @@ func (in *Injector) probability(latNs, needNs float64) float64 {
 
 // CheckWrite judges one completed write pulse: latNs is the programmed
 // RESET latency, needNs the timing-table requirement for the row's
-// actual pre-write content, rowWrites the row's cumulative write count.
-// Exactly one PRNG draw is consumed per transient check, keeping the
-// stream aligned across reruns.
-func (in *Injector) CheckWrite(globalRow uint64, latNs, needNs float64, rowWrites uint64) Verdict {
+// actual pre-write content, rowWrites the row's *effective* write count
+// — the caller subtracts the decoder's remap baseline so wear on a
+// fresh spare counts from zero. Exactly one PRNG draw is consumed per
+// transient check, keeping the stream aligned across reruns.
+func (in *Injector) CheckWrite(latNs, needNs float64, rowWrites uint64) Verdict {
 	in.stats.Checked++
-	if e, ok := in.remapped[globalRow]; ok {
-		// The spare is wear-fresh: count writes from the remap point.
-		rowWrites -= e.baseWrites
-	}
 	if rowWrites >= in.cfg.WearLimit {
 		in.stats.Injected++
 		in.stats.Permanent++
@@ -282,23 +247,3 @@ func (in *Injector) NoteRetry() { in.stats.Retries++ }
 
 // NoteExhausted records one write whose transient retries hit the cap.
 func (in *Injector) NoteExhausted() { in.stats.Exhausted++ }
-
-// Remap relocates a global row to a spare from its bank's pool,
-// recording the wear baseline so the spare starts fresh. A row already
-// remapped consumes another slot (its spare wore out). The returned
-// error means the pool is exhausted — the device can no longer hide the
-// failure and the run must surface it.
-func (in *Injector) Remap(bank int, globalRow uint64, rowWrites uint64) error {
-	if in.spareUsed[bank] >= in.cfg.SpareRows {
-		return fmt.Errorf("fault: bank %d spare-row pool exhausted (%d spares used); row %d unrecoverable",
-			bank, in.cfg.SpareRows, globalRow)
-	}
-	in.spareUsed[bank]++
-	in.remapped[globalRow] = remapEntry{baseWrites: rowWrites}
-	in.stats.Remaps++
-	in.stats.SparesUsed++
-	return nil
-}
-
-// SpareCapacity returns the per-bank pool size.
-func (in *Injector) SpareCapacity() int { return in.cfg.SpareRows }

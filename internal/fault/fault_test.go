@@ -2,7 +2,6 @@ package fault
 
 import (
 	"math"
-	"strings"
 	"testing"
 )
 
@@ -22,12 +21,12 @@ func TestConfigValidate(t *testing.T) {
 		ok   bool
 	}{
 		{"zero value", Config{}, true},
-		{"typical", Config{Rate: 0.01, Seed: 7, RetryMax: 3, SpareRows: 32}, true},
+		{"typical", Config{Rate: 0.01, Seed: 7, RetryMax: 3}, true},
+		{"sentinel retries", Config{Rate: 0.01, RetryMax: UseDefault}, true},
+		{"explicit zero retries", Config{Rate: 0.01, RetryMax: 0}, true},
 		{"rate one", Config{Rate: 1}, false},
 		{"rate negative", Config{Rate: -0.1}, false},
-		{"retry negative", Config{RetryMax: -1}, false},
-		{"spares negative", Config{SpareRows: -1}, false},
-		{"penalty negative", Config{RemapPenaltyNs: -2}, false},
+		{"retry below sentinel", Config{RetryMax: -2}, false},
 	}
 	for _, c := range cases {
 		_, err := NewInjector(c.cfg)
@@ -37,16 +36,21 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestDefaultsApplied pins the UseDefault sentinel semantics: only the
+// sentinel selects the default; an explicit zero means "no reissues" and
+// survives defaulting untouched.
 func TestDefaultsApplied(t *testing.T) {
-	in := mustInjector(t, Config{Rate: 0.01})
-	if in.RetryMax() != DefaultRetryMax {
-		t.Errorf("RetryMax = %d, want default %d", in.RetryMax(), DefaultRetryMax)
+	if in := mustInjector(t, Config{Rate: 0.01, RetryMax: UseDefault}); in.RetryMax() != DefaultRetryMax {
+		t.Errorf("RetryMax(UseDefault) = %d, want default %d", in.RetryMax(), DefaultRetryMax)
 	}
-	if in.SpareCapacity() != DefaultSpareRows {
-		t.Errorf("SpareCapacity = %d, want default %d", in.SpareCapacity(), DefaultSpareRows)
+	if in := mustInjector(t, Config{Rate: 0.01, RetryMax: 0}); in.RetryMax() != 0 {
+		t.Errorf("RetryMax(0) = %d, want 0 (reissues disabled, not defaulted)", in.RetryMax())
 	}
-	if in.PenaltyNs() != DefaultRemapPenaltyNs {
-		t.Errorf("PenaltyNs = %v, want default %v", in.PenaltyNs(), DefaultRemapPenaltyNs)
+	if in := mustInjector(t, Config{Rate: 0.01, RetryMax: 7}); in.RetryMax() != 7 {
+		t.Errorf("RetryMax(7) = %d, want 7", in.RetryMax())
+	}
+	if in := mustInjector(t, Config{Rate: 0.01}); in.WearLimit() != DefaultWearLimit {
+		t.Errorf("WearLimit = %d, want default %d", in.WearLimit(), DefaultWearLimit)
 	}
 }
 
@@ -61,7 +65,7 @@ func TestSeededRateWithinTolerance(t *testing.T) {
 	faults := 0
 	for i := 0; i < trials; i++ {
 		// Zero margin: programmed latency equals the requirement.
-		if in.CheckWrite(uint64(i), 100, 100, 0) == Transient {
+		if in.CheckWrite(100, 100, 0) == Transient {
 			faults++
 		}
 	}
@@ -108,7 +112,7 @@ func TestDeterministicReplay(t *testing.T) {
 		in := mustInjector(t, Config{Rate: 0.3, Seed: 99})
 		out := make([]Verdict, 1000)
 		for i := range out {
-			out[i] = in.CheckWrite(uint64(i%17), 100, 95+float64(i%11), 0)
+			out[i] = in.CheckWrite(100, 95+float64(i%11), 0)
 		}
 		return out
 	}
@@ -120,59 +124,26 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 }
 
-func TestWearPermanentAndRemapFreshness(t *testing.T) {
+// TestWearPermanent pins the permanent-fault threshold on the effective
+// write count the caller supplies (the decoder subtracts its remap
+// baseline before calling, so a fresh spare counts from zero).
+func TestWearPermanent(t *testing.T) {
 	in := mustInjector(t, Config{Rate: 0.001, Seed: 3, WearLimit: 100})
-	const row = 7
-	if v := in.CheckWrite(row, 100, 100, 99); v != OK && v != Transient {
+	if v := in.CheckWrite(100, 100, 99); v != OK && v != Transient {
 		t.Fatalf("pre-limit write got %v", v)
 	}
-	if v := in.CheckWrite(row, 1e6, 100, 100); v != Permanent {
+	if v := in.CheckWrite(1e6, 100, 100); v != Permanent {
 		t.Fatalf("at-limit write got %v, want Permanent (margin must not matter)", v)
 	}
-	if err := in.Remap(0, row, 100); err != nil {
-		t.Fatal(err)
-	}
-	if !in.Remapped(row) {
-		t.Fatal("row not marked remapped")
-	}
-	// Wear counts from the remap baseline: 100 lifetime writes later the
-	// spare is at its own limit, not before.
-	if v := in.CheckWrite(row, 100, 100, 199); v == Permanent {
-		t.Fatal("fresh spare reported worn")
-	}
-	if v := in.CheckWrite(row, 1e6, 100, 200); v != Permanent {
-		t.Fatalf("worn spare got %v, want Permanent", v)
-	}
-}
-
-func TestSparePoolExhaustion(t *testing.T) {
-	in := mustInjector(t, Config{Rate: 0.01, Seed: 5, SpareRows: 2})
-	if err := in.Remap(4, 10, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := in.Remap(4, 11, 0); err != nil {
-		t.Fatal(err)
-	}
-	err := in.Remap(4, 12, 0)
-	if err == nil {
-		t.Fatal("third remap in a 2-spare bank should fail")
-	}
-	if !strings.Contains(err.Error(), "exhausted") {
-		t.Errorf("error %q should mention exhaustion", err)
-	}
-	// Other banks keep their own pools.
-	if err := in.Remap(5, 13, 0); err != nil {
-		t.Fatalf("other bank's pool should be untouched: %v", err)
-	}
 	st := in.Stats()
-	if st.Remaps != 3 || st.SparesUsed != 3 {
-		t.Errorf("stats = %+v, want 3 remaps / 3 spares used", st)
+	if st.Permanent != 1 {
+		t.Errorf("stats = %+v, want exactly 1 permanent fault", st)
 	}
 }
 
 func TestNilInjectorSafe(t *testing.T) {
 	var in *Injector
-	if in.Remapped(0) {
-		t.Fatal("nil injector claims a remapped row")
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("nil injector stats = %+v, want zero value", st)
 	}
 }

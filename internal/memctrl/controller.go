@@ -22,6 +22,7 @@ import (
 	"ladder/internal/engine"
 	"ladder/internal/fault"
 	"ladder/internal/metrics"
+	"ladder/internal/remap"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
 	"ladder/internal/tracing"
@@ -145,10 +146,12 @@ type Controller struct {
 	freeReads  []*ReadReq
 	freeWrites []*core.WriteRequest
 
-	// remap, when set, adjusts decoded data locations (vertical wear
-	// leveling applies here: the paper places wear-leveling translation
-	// before LADDER, Figure 18a).
-	remap func(reram.Location) reram.Location
+	// dec, when set, is the programmable address decoder: the single
+	// logical→physical resolution point on the access path (vertical
+	// wear leveling applies here — the paper places wear-leveling
+	// translation before LADDER, Figure 18a — and spare-row indirection
+	// penalties are charged through it at dispatch).
+	dec *remap.Decoder
 
 	// inj, when set, injects write faults at pulse completion and drives
 	// the program-and-verify retry loop. Nil keeps the datapath untouched
@@ -220,6 +223,10 @@ func (c *Controller) Instrument(reg *metrics.Registry, channel int) {
 		c.mRemaps = reg.Counter(p + "row_remaps")
 		c.mExhausted = reg.Counter(p + "retry_exhausted")
 		c.mRetryHist = reg.Histogram(p+"retry_latency_ns", ResetLatencyBounds())
+	} else if c.dec.ProactiveEnabled() {
+		// Proactive retirement remaps rows without an injector; attach
+		// the decoder hook (SetDecoder) before Instrument, like SetFaults.
+		c.mRemaps = reg.Counter(p + "row_remaps")
 	}
 }
 
@@ -242,18 +249,19 @@ func (c *Controller) Trace(tr *tracing.Collector, channel int) {
 	c.trChannel = channel
 }
 
-// SetRemap installs a location remapping applied to decoded data
-// addresses (wear-leveling integration).
-func (c *Controller) SetRemap(f func(reram.Location) reram.Location) { c.remap = f }
+// SetDecoder installs the programmable address decoder applied to
+// decoded data addresses (wear-leveling rotation at enqueue, spare-row
+// penalties at dispatch). Nil (the default) keeps the identity mapping.
+func (c *Controller) SetDecoder(d *remap.Decoder) { c.dec = d }
 
-// decode resolves a line address through the optional remap.
+// decode resolves a line address through the optional address decoder.
 func (c *Controller) decode(line uint64) (reram.Location, error) {
 	loc, err := c.env.Geom.Decode(line)
 	if err != nil {
 		return loc, err
 	}
-	if c.remap != nil {
-		loc = c.remap(loc)
+	if c.dec != nil {
+		loc, _ = c.dec.Resolve(loc)
 	}
 	return loc, nil
 }
@@ -583,6 +591,17 @@ func (c *Controller) finishWrite(op busyOp, now uint64) bool {
 	st.FNWUnits += bits.FNWUnits
 	st.WriteServiceNs += float64(now-req.DispatchCycle) / TicksPerNs
 	c.meter.Write(op.latNs, res.BitChanges)
+	// Wear-limit-triggered proactive retirement: once a row's effective
+	// write count reaches the decoder's limit, move it to a spare before
+	// the fault model ever declares it permanently failed. Best-effort —
+	// an empty pool is not an error here.
+	if c.dec.ProactiveEnabled() {
+		if rowWrites, err := c.env.Store.RowWrites(req.Line); err == nil {
+			if c.dec.MaybeRetire(c.bankOf(req.Loc), c.env.Geom.GlobalRow(req.Loc), rowWrites) {
+				c.mRemaps.Inc()
+			}
+		}
+	}
 	c.routeWritebacks(c.scheme.Complete(req, old, enc), now)
 	c.retrySpill(now)
 	return true
@@ -610,7 +629,10 @@ func (c *Controller) verifyWrite(op busyOp, now uint64) bool {
 		return true
 	}
 	globalRow := c.env.Geom.GlobalRow(req.Loc)
-	verdict := c.inj.CheckWrite(globalRow, op.latNs, needNs, rowWrites)
+	// Wear on a remapped row's fresh spare counts from the remap point:
+	// the decoder owns the baseline, the injector only sees effective
+	// writes.
+	verdict := c.inj.CheckWrite(op.latNs, needNs, rowWrites-c.dec.SpareBaseWrites(globalRow))
 	if verdict == fault.OK {
 		return true
 	}
@@ -628,7 +650,7 @@ func (c *Controller) verifyWrite(op busyOp, now uint64) bool {
 		c.inj.NoteExhausted()
 		c.mExhausted.Inc()
 	}
-	if err := c.inj.Remap(c.bankOf(req.Loc), globalRow, rowWrites); err != nil {
+	if err := c.dec.RemapSpare(c.bankOf(req.Loc), globalRow, rowWrites); err != nil {
 		if c.faultErr == nil {
 			c.faultErr = err
 		}
@@ -674,12 +696,10 @@ func (c *Controller) reissueWrite(op busyOp, now uint64) {
 }
 
 // remapPenalty returns the extra bank ticks a spare-row indirection adds
-// to an access whose row was retired to the spare pool.
+// to an access whose row was retired to the spare pool. The decoder is
+// the single accounting point; a nil decoder charges nothing.
 func (c *Controller) remapPenalty(loc reram.Location) uint64 {
-	if c.inj == nil || !c.inj.Remapped(c.env.Geom.GlobalRow(loc)) {
-		return 0
-	}
-	return uint64(math.Ceil(c.inj.PenaltyNs() * TicksPerNs))
+	return c.dec.PenaltyTicks(loc)
 }
 
 // retrySpill lets the scheme re-attempt deferred metadata acquisitions.

@@ -9,6 +9,7 @@ import (
 	"ladder/internal/circuit"
 	"ladder/internal/core"
 	"ladder/internal/energy"
+	"ladder/internal/remap"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
 )
@@ -396,39 +397,93 @@ func TestEnqueueMaintenanceOccupiesBank(t *testing.T) {
 	}
 }
 
-func TestSetRemapChangesTiming(t *testing.T) {
-	// Remapping a near row to the far end must slow its writes.
-	near := newHarness(t, baselineScheme)
-	nearScheme := core.NewLocationAware(near.env)
-	ctrlNear, err := NewController(DefaultConfig(), near.env, nearScheme, near.meter, nil)
-	if err != nil {
-		t.Fatal(err)
+// TestDecoderGapShiftChangesTiming pins the decoder as the controller's
+// single resolution point: rotating the start-gap mapping relocates the
+// same logical write to a farther wordline, which a location-aware
+// scheme must observe as a slower write.
+func TestDecoderGapShiftChangesTiming(t *testing.T) {
+	runOne := func(rotations int) float64 {
+		env := testEnv(t)
+		meter, err := energy.NewMeter(energy.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := NewController(DefaultConfig(), env, core.NewLocationAware(env), meter, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ~64 segments so a full rotation count maps onto wordline offsets.
+		segRows := int(env.Geom.Rows()) / 64
+		dec, err := remap.NewDecoder(remap.Config{
+			Geom:           env.Geom,
+			TicksPerNs:     TicksPerNs,
+			GapSegmentRows: segRows,
+			GapPeriod:      1,
+			SpareRows:      0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl.SetDecoder(dec)
+		// One full rotation (segments+1 gap moves) advances every
+		// segment's physical slot by one wordline.
+		segments := int(env.Geom.Rows())/segRows + 1
+		for i := 0; i < rotations*(segments+1); i++ {
+			dec.RecordWrite()
+		}
+		ctrl.EnqueueWrite(0, bits.Line{}, 0)
+		for i := uint64(0); !ctrl.Idle(); i++ {
+			ctrl.Tick(i)
+		}
+		return env.Stats.AvgWriteServiceNs()
 	}
-	ctrlNear.EnqueueWrite(0, bits.Line{}, 0)
-	for i := uint64(0); !ctrlNear.Idle(); i++ {
-		ctrlNear.Tick(i)
+	near := runOne(0)
+	far := runOne(63)
+	if far <= near {
+		t.Fatalf("gap-rotated write %v ns should be slower than identity mapping %v ns", far, near)
 	}
-	nearNs := near.env.Stats.AvgWriteServiceNs()
+}
 
-	far := newHarness(t, baselineScheme)
-	farScheme := core.NewLocationAware(far.env)
-	ctrlFar, err := NewController(DefaultConfig(), far.env, farScheme, far.meter, nil)
-	if err != nil {
-		t.Fatal(err)
+// TestDecoderSparePenaltyChargedAtDispatch pins the indirection-penalty
+// model: an access to a spare-remapped row pays exactly the configured
+// decoder latency on top of its normal service time, charged when the
+// operation dispatches.
+func TestDecoderSparePenaltyChargedAtDispatch(t *testing.T) {
+	const penaltyNs = 10.0
+	runOne := func(doRemap bool) float64 {
+		h := newHarness(t, baselineScheme)
+		dec, err := remap.NewDecoder(remap.Config{
+			Geom:       h.env.Geom,
+			TicksPerNs: TicksPerNs,
+			SpareRows:  4,
+			PenaltyNs:  penaltyNs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.ctrl.SetDecoder(dec)
+		if doRemap {
+			loc, err := h.env.Geom.Decode(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dec.RemapSpare(0, h.env.Geom.GlobalRow(loc), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.ctrl.EnqueueWrite(0, bits.Line{}, h.now)
+		h.runUntilIdle(t, 100_000)
+		if doRemap {
+			if st := dec.Stats(); st.PenaltyTicks == 0 {
+				t.Fatal("remapped write charged no penalty ticks")
+			}
+		}
+		return h.env.Stats.AvgWriteServiceNs()
 	}
-	rows := far.env.Geom.MatRows
-	ctrlFar.SetRemap(func(loc reram.Location) reram.Location {
-		loc.WL = rows - 1
-		loc.BLHigh = rows - 1
-		return loc
-	})
-	ctrlFar.EnqueueWrite(0, bits.Line{}, 0)
-	for i := uint64(0); !ctrlFar.Idle(); i++ {
-		ctrlFar.Tick(i)
-	}
-	farNs := far.env.Stats.AvgWriteServiceNs()
-	if farNs <= nearNs {
-		t.Fatalf("remapped-far write %v should be slower than near %v", farNs, nearNs)
+	base := runOne(false)
+	remapped := runOne(true)
+	if diff := remapped - base; diff < penaltyNs-0.5 || diff > penaltyNs+0.5 {
+		t.Fatalf("remapped write pays %v ns extra, want ≈%v ns decoder penalty", diff, penaltyNs)
 	}
 }
 

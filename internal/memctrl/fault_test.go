@@ -8,21 +8,32 @@ import (
 	"ladder/internal/core"
 	"ladder/internal/fault"
 	"ladder/internal/metrics"
+	"ladder/internal/remap"
 	"ladder/internal/reram"
 )
 
-// newFaultHarness wires an injector and a metrics registry into a fresh
-// controller harness, mirroring the sim package's build order (faults
+// newFaultHarness wires an injector, an address decoder with the given
+// per-bank spare pool, and a metrics registry into a fresh controller
+// harness, mirroring the sim package's build order (faults and decoder
 // before instrumentation, so the fault counters register).
-func newFaultHarness(t *testing.T, mk func(*core.Env) core.Scheme, cfg fault.Config) (*harness, *fault.Injector, *metrics.Registry) {
+func newFaultHarness(t *testing.T, mk func(*core.Env) core.Scheme, cfg fault.Config, spareRows int) (*harness, *fault.Injector, *metrics.Registry) {
 	t.Helper()
 	h := newHarness(t, mk)
 	inj, err := fault.NewInjector(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	dec, err := remap.NewDecoder(remap.Config{
+		Geom:       h.env.Geom,
+		TicksPerNs: TicksPerNs,
+		SpareRows:  spareRows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	reg := metrics.NewRegistry()
 	h.ctrl.SetFaults(inj)
+	h.ctrl.SetDecoder(dec)
 	h.ctrl.Instrument(reg, 0)
 	return h, inj, reg
 }
@@ -41,7 +52,8 @@ func basicScheme(t *testing.T) func(*core.Env) core.Scheme {
 // program-and-verify loop under a high fault rate: the failed pulses are
 // metered, the reissues counted, and the data still lands.
 func TestVerifyFailureReissuesAndPersists(t *testing.T) {
-	h, inj, reg := newFaultHarness(t, estScheme(t), fault.Config{Rate: 0.9, Seed: 1})
+	h, inj, reg := newFaultHarness(t, estScheme(t),
+		fault.Config{Rate: 0.9, Seed: 1, RetryMax: fault.UseDefault}, remap.UseDefault)
 	var data bits.Line
 	for i := range data {
 		data[i] = byte(i * 5)
@@ -79,7 +91,8 @@ func TestVerifyFailureReissuesAndPersists(t *testing.T) {
 // reissues must climb the timing table toward worst case rather than
 // re-fail at the same margin.
 func TestRetryEscalatesPulseLatency(t *testing.T) {
-	h, inj, reg := newFaultHarness(t, basicScheme(t), fault.Config{Rate: 0.99, Seed: 2})
+	h, inj, reg := newFaultHarness(t, basicScheme(t),
+		fault.Config{Rate: 0.99, Seed: 2, RetryMax: fault.UseDefault}, remap.UseDefault)
 	var sparse bits.Line
 	sparse[0] = 1
 	if !h.ctrl.EnqueueWrite(0, sparse, h.now) {
@@ -104,7 +117,7 @@ func TestRetryEscalatesPulseLatency(t *testing.T) {
 // row must surface through Controller.Err instead of looping forever.
 func TestSparePoolExhaustionSurfacesError(t *testing.T) {
 	h, inj, _ := newFaultHarness(t, estScheme(t),
-		fault.Config{Rate: 0.99, Seed: 3, RetryMax: 1, SpareRows: 1})
+		fault.Config{Rate: 0.99, Seed: 3, RetryMax: 1}, 1)
 	var data bits.Line
 	data[0] = 0xff
 	for i := 0; i < 64; i++ {

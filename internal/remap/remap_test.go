@@ -1,0 +1,310 @@
+package remap
+
+import (
+	"strings"
+	"testing"
+
+	"ladder/internal/reram"
+	"ladder/internal/wear"
+)
+
+func testGeometry() reram.Geometry {
+	return reram.Geometry{
+		Channels:         2,
+		RanksPerChannel:  2,
+		BanksPerRank:     8,
+		MatGroupsPerBank: 4,
+		MatRows:          64,
+	}
+}
+
+func mustDecoder(t *testing.T, cfg Config) *Decoder {
+	t.Helper()
+	d, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func baseConfig() Config {
+	return Config{Geom: testGeometry(), TicksPerNs: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"base", func(c *Config) {}, true},
+		{"gap leveling", func(c *Config) { c.GapSegmentRows = 64; c.GapPeriod = 16 }, true},
+		{"sentinel spares", func(c *Config) { c.SpareRows = UseDefault }, true},
+		{"sentinel penalty", func(c *Config) { c.PenaltyNs = UseDefault }, true},
+		{"no geometry", func(c *Config) { c.Geom = reram.Geometry{} }, false},
+		{"zero ticks per ns", func(c *Config) { c.TicksPerNs = 0 }, false},
+		{"negative segment rows", func(c *Config) { c.GapSegmentRows = -1 }, false},
+		{"gap without period", func(c *Config) { c.GapSegmentRows = 64 }, false},
+		{"spares below sentinel", func(c *Config) { c.SpareRows = -2 }, false},
+		{"penalty below sentinel", func(c *Config) { c.PenaltyNs = -2 }, false},
+	}
+	for _, c := range cases {
+		cfg := baseConfig()
+		c.mutate(&cfg)
+		_, err := NewDecoder(cfg)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: NewDecoder err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestSentinelDefaults pins the UseDefault semantics: the sentinel
+// selects the default while an explicit zero disables the feature.
+func TestSentinelDefaults(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SpareRows = UseDefault
+	if d := mustDecoder(t, cfg); d.SpareCapacity() != DefaultSpareRows {
+		t.Errorf("SpareCapacity(UseDefault) = %d, want %d", d.SpareCapacity(), DefaultSpareRows)
+	}
+	cfg = baseConfig()
+	cfg.SpareRows = 0
+	d := mustDecoder(t, cfg)
+	if d.SpareCapacity() != 0 {
+		t.Errorf("SpareCapacity(0) = %d, want 0 (disabled, not defaulted)", d.SpareCapacity())
+	}
+	if err := d.RemapSpare(0, 1, 0); err == nil {
+		t.Error("remap into a zero-spare pool should fail")
+	}
+	cfg = baseConfig()
+	cfg.SpareRows = 1
+	cfg.PenaltyNs = UseDefault
+	d = mustDecoder(t, cfg)
+	loc, err := testGeometry().Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemapSpare(0, testGeometry().GlobalRow(loc), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Default 2 ns at 4 ticks/ns = 8 ticks.
+	if p := d.PenaltyTicks(loc); p != 8 {
+		t.Errorf("PenaltyTicks = %d, want 8 (default 2 ns x 4 ticks/ns)", p)
+	}
+}
+
+// TestResolveMatchesStartGap pins the decoder's gap arithmetic against a
+// directly-driven wear.StartGap: the refactor moved the shift out of the
+// sim package and it must compute the identical wordline.
+func TestResolveMatchesStartGap(t *testing.T) {
+	geom := testGeometry()
+	const segRows = 64
+	cfg := baseConfig()
+	cfg.GapSegmentRows = segRows
+	cfg.GapPeriod = 1
+	d := mustDecoder(t, cfg)
+
+	segments := int(geom.Rows()/segRows) + 1
+	ref, err := wear.NewStartGap(segments, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func() {
+		t.Helper()
+		for line := uint64(0); line < geom.Lines(); line += 97 {
+			loc, err := geom.Decode(line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg := int(geom.GlobalRow(loc)/segRows) % ref.Segments()
+			phys, err := ref.Phys(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := (loc.WL + phys) % geom.MatRows
+			got, _ := d.Resolve(loc)
+			if got.WL != want {
+				t.Fatalf("line %d: resolved WL %d, want %d (seg %d phys %d)", line, got.WL, want, seg, phys)
+			}
+			if got.Row != loc.Row || got.Bank != loc.Bank {
+				t.Fatalf("line %d: Resolve must shift only the wordline", line)
+			}
+		}
+	}
+
+	check()
+	// Drive a few hundred gap moves and re-verify the mapping tracks.
+	for i := 0; i < 300; i++ {
+		moved := d.RecordWrite()
+		if refMoved := ref.RecordWrite(); moved != refMoved {
+			t.Fatalf("move %d: decoder moved=%v, reference moved=%v", i, moved, refMoved)
+		}
+		if i%37 == 0 {
+			check()
+		}
+	}
+	check()
+	if d.GapMoves() != ref.Moves() {
+		t.Fatalf("GapMoves = %d, want %d", d.GapMoves(), ref.Moves())
+	}
+}
+
+func TestSparePoolExhaustion(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SpareRows = 2
+	d := mustDecoder(t, cfg)
+	if err := d.RemapSpare(4, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemapSpare(4, 11, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := d.RemapSpare(4, 12, 0)
+	if err == nil {
+		t.Fatal("third remap in a 2-spare bank should fail")
+	}
+	if !strings.Contains(err.Error(), "exhausted") {
+		t.Errorf("error %q should mention exhaustion", err)
+	}
+	// Other banks keep their own pools.
+	if err := d.RemapSpare(5, 13, 0); err != nil {
+		t.Fatalf("other bank's pool should be untouched: %v", err)
+	}
+	st := d.Stats()
+	if st.SpareRemaps != 3 || st.SparesUsed != 3 {
+		t.Errorf("stats = %+v, want 3 remaps / 3 spares used", st)
+	}
+}
+
+// TestSpareBaseWrites pins the wear-freshness bookkeeping: a remapped
+// row's spare counts wear from the remap-time baseline, and re-remapping
+// a worn spare consumes another slot with a new baseline.
+func TestSpareBaseWrites(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SpareRows = 2
+	d := mustDecoder(t, cfg)
+	const row = 7
+	if d.SpareBaseWrites(row) != 0 || d.IsRemapped(row) {
+		t.Fatal("fresh row should carry no baseline")
+	}
+	if err := d.RemapSpare(0, row, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsRemapped(row) {
+		t.Fatal("row not marked remapped")
+	}
+	if got := d.SpareBaseWrites(row); got != 100 {
+		t.Fatalf("baseline = %d, want 100", got)
+	}
+	// The spare wore out in turn: the row takes a second slot.
+	if err := d.RemapSpare(0, row, 200); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SpareBaseWrites(row); got != 200 {
+		t.Fatalf("baseline after re-remap = %d, want 200", got)
+	}
+	st := d.Stats()
+	if st.SpareRemaps != 2 || st.SparesUsed != 2 {
+		t.Errorf("stats = %+v, want 2 remaps / 2 slots", st)
+	}
+}
+
+// TestPenaltyAccounting pins the charge point: Resolve reports the
+// penalty without recording it; PenaltyTicks is the dispatch-time charge
+// and the only accumulator.
+func TestPenaltyAccounting(t *testing.T) {
+	geom := testGeometry()
+	cfg := baseConfig()
+	cfg.SpareRows = 1
+	cfg.PenaltyNs = 3 // 12 ticks at 4 ticks/ns
+	d := mustDecoder(t, cfg)
+	loc, err := geom.Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, p := d.Resolve(loc); p != 0 {
+		t.Fatalf("unremapped row penalty = %d, want 0", p)
+	}
+	if err := d.RemapSpare(0, geom.GlobalRow(loc), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, p := d.Resolve(loc); p != 12 {
+		t.Fatalf("enqueue-time penalty = %d, want 12", p)
+	}
+	if st := d.Stats(); st.PenaltyTicks != 0 {
+		t.Fatalf("Resolve must not record the charge; PenaltyTicks stat = %d", st.PenaltyTicks)
+	}
+	if p := d.PenaltyTicks(loc); p != 12 {
+		t.Fatalf("dispatch penalty = %d, want 12", p)
+	}
+	if p := d.PenaltyTicks(loc); p != 12 {
+		t.Fatalf("second dispatch penalty = %d, want 12", p)
+	}
+	if st := d.Stats(); st.PenaltyTicks != 24 {
+		t.Fatalf("accumulated penalty = %d ticks, want 24", st.PenaltyTicks)
+	}
+}
+
+func TestMaybeRetire(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SpareRows = 1
+	cfg.ProactiveWearLimit = 50
+	d := mustDecoder(t, cfg)
+	if !d.ProactiveEnabled() {
+		t.Fatal("proactive retirement should be enabled")
+	}
+	if d.MaybeRetire(0, 9, 49) {
+		t.Fatal("row below the wear limit must not retire")
+	}
+	if !d.MaybeRetire(0, 9, 50) {
+		t.Fatal("row at the wear limit should retire")
+	}
+	if !d.IsRemapped(9) {
+		t.Fatal("retired row not in the remap table")
+	}
+	// Effective wear resets: the same lifetime count no longer triggers.
+	if d.MaybeRetire(0, 9, 50) {
+		t.Fatal("freshly retired row must not re-retire at the same count")
+	}
+	// Pool exhausted: retirement is best-effort, not an error.
+	if d.MaybeRetire(0, 10, 99) {
+		t.Fatal("retirement from an empty pool should be skipped")
+	}
+	st := d.Stats()
+	if st.SpareRemaps != 1 || st.SparesUsed != 1 {
+		t.Errorf("stats = %+v, want exactly one retirement", st)
+	}
+}
+
+func TestNilDecoderSafe(t *testing.T) {
+	var d *Decoder
+	geom := testGeometry()
+	loc, err := geom.Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, p := d.Resolve(loc); got != loc || p != 0 {
+		t.Fatal("nil decoder must resolve to identity at zero cost")
+	}
+	if d.PenaltyTicks(loc) != 0 || d.RecordWrite() || d.IsRemapped(0) ||
+		d.SpareBaseWrites(0) != 0 || d.ProactiveEnabled() || d.MaybeRetire(0, 0, 1<<62) ||
+		d.GapMoves() != 0 || d.SpareCapacity() != 0 {
+		t.Fatal("nil decoder must be inert")
+	}
+	if err := d.RemapSpare(0, 0, 0); err == nil {
+		t.Fatal("nil decoder cannot grant spares")
+	}
+	if st := d.Stats(); st != (Stats{}) {
+		t.Fatalf("nil decoder stats = %+v, want zero value", st)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{GapMoves: 1, SpareRemaps: 2, SparesUsed: 3, Lookups: 4, PenaltyTicks: 5}
+	b := Stats{GapMoves: 10, SpareRemaps: 20, SparesUsed: 30, Lookups: 40, PenaltyTicks: 50}
+	a.Merge(b)
+	want := Stats{GapMoves: 11, SpareRemaps: 22, SparesUsed: 33, Lookups: 44, PenaltyTicks: 55}
+	if a != want {
+		t.Fatalf("merged = %+v, want %+v", a, want)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"ladder/internal/core"
+	"ladder/internal/remap"
+	"ladder/internal/reram"
 	"ladder/internal/timing"
 	"ladder/internal/trace"
 )
@@ -53,6 +55,10 @@ type Options struct {
 	FaultSeed int64
 	RetryMax  int
 	SpareRows int
+	// RemapPenaltyNs is the address-decoder indirection latency charged
+	// on accesses to spare-remapped rows (0 = default 2 ns, negative =
+	// free; see sim.Config).
+	RemapPenaltyNs float64
 }
 
 // GridProgress reports one finished cell of a running experiment grid.
@@ -78,14 +84,15 @@ func (o Options) workloads() []string {
 
 func (o Options) config(workload, scheme string) Config {
 	return Config{
-		Workload:     workload,
-		Scheme:       scheme,
-		InstrPerCore: o.Instr,
-		Seed:         o.Seed,
-		Tables:       o.Tables,
-		FaultSeed:    o.FaultSeed,
-		RetryMax:     o.RetryMax,
-		SpareRows:    o.SpareRows,
+		Workload:       workload,
+		Scheme:         scheme,
+		InstrPerCore:   o.Instr,
+		Seed:           o.Seed,
+		Tables:         o.Tables,
+		FaultSeed:      o.FaultSeed,
+		RetryMax:       o.RetryMax,
+		SpareRows:      o.SpareRows,
+		RemapPenaltyNs: o.RemapPenaltyNs,
 	}
 }
 
@@ -559,6 +566,186 @@ func ReliabilitySweep(opts Options, schemes []string, rates []float64) ([]Row, e
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// LifetimeCell is one (gap-move period, spare-pool size) combination's
+// outcome in a LifetimeSweep, averaged across the study's workloads.
+type LifetimeCell struct {
+	GapPeriod int `json:"gap_period"`
+	SpareRows int `json:"spare_rows"`
+	// RelativeLifetime is the modeled device lifetime relative to the
+	// unleveled, spare-less baseline (see relativeLifetime).
+	RelativeLifetime float64 `json:"relative_lifetime"`
+	// IPCRatio is measured performance relative to the baseline run:
+	// the cost side of the lifetime trade.
+	IPCRatio float64 `json:"ipc_ratio"`
+	// GapMoves and SpareRemaps total the decoder activity across the
+	// cell's workload runs.
+	GapMoves    uint64 `json:"gap_moves"`
+	SpareRemaps uint64 `json:"spare_remaps"`
+}
+
+// LifetimeStudy is the lifetime-vs-overhead sweep over the programmable
+// decoder's two sizing knobs: how often the start gap moves and how many
+// spare rows each bank holds.
+type LifetimeStudy struct {
+	Scheme     string
+	Workloads  []string
+	GapPeriods []int
+	SpareRows  []int
+	// Cells are ordered gap-period-major, spare-pool-minor.
+	Cells []LifetimeCell
+	// Remap merges the decoder accounting of every leveled run in the
+	// sweep.
+	Remap remap.Stats
+}
+
+// relativeLifetime is the study's first-order endurance model over
+// measured quantities. The simulator's vertical wear leveling is
+// timing-only — store writes stay keyed by logical line — so leveling
+// cannot be read off MaxRowWrites directly; instead the hottest row is
+// interpolated toward the mean by the fraction of completed start-gap
+// rotations:
+//
+//	rotations = gapMoves / (segments + 1)   // full map rotations
+//	leveled   = rotations / (rotations + 1) // asymptotically → 1
+//	effMax    = avgRow + (maxRow − avgRow)·(1 − leveled)
+//
+// Gap moves add maintenance write traffic (one segment copy per move,
+// charged as one maintenance write here), and the spare pool adds raw
+// row capacity the device fails over to, so the reported ratio is
+//
+//	(baseMax / effMax) / overhead · (1 + spares·banks/touchedRows)
+func relativeLifetime(base, res *Result, cfg *Config, spares int) float64 {
+	touched := float64(res.TouchedRows)
+	total := float64(res.TotalStoreWrites)
+	if touched == 0 || total == 0 {
+		return 1
+	}
+	geom := cfg.Geom
+	if geom == (reram.Geometry{}) {
+		geom = reram.DefaultGeometry()
+	}
+	segRows := cfg.VWLSegmentRows
+	if segRows == 0 {
+		segRows = 256
+	}
+	segments := float64(geom.Rows()/uint64(segRows)) + 1
+	gapMoves := 0.0
+	if res.Remap != nil {
+		gapMoves = float64(res.Remap.GapMoves)
+	}
+	rotations := gapMoves / (segments + 1)
+	leveled := rotations / (rotations + 1)
+	avgRow := total / touched
+	effMax := avgRow + (float64(res.MaxRowWrites)-avgRow)*(1-leveled)
+	if effMax <= 0 {
+		return 1
+	}
+	overhead := (total + gapMoves) / total
+	spareFactor := 1 + float64(spares)*float64(geom.Banks())/touched
+	return float64(base.MaxRowWrites) / effMax / overhead * spareFactor
+}
+
+// LifetimeSweep runs the lifetime study the decoder refactor enables:
+// every workload runs once without leveling (the endurance baseline)
+// and once per (gap period, spare pool) combination with segment VWL,
+// spare remapping and proactive wear-limit retirement enabled — the
+// limit auto-scaled to half the workload's observed hottest-row count so
+// short runs still exercise the retirement path. Reported per cell:
+// modeled relative lifetime and measured IPC ratio (the trade the paper
+// prices at ~3% write overhead), averaged across workloads. Nil period
+// and spare lists select the defaults.
+func LifetimeSweep(opts Options, scheme string, periods, spares []int) (*LifetimeStudy, error) {
+	if len(periods) == 0 {
+		periods = []int{64, 128, 256}
+	}
+	if len(spares) == 0 {
+		spares = []int{0, 16, 32}
+	}
+	study := &LifetimeStudy{
+		Scheme:     scheme,
+		Workloads:  opts.workloads(),
+		GapPeriods: periods,
+		SpareRows:  spares,
+	}
+	bases := make(map[string]*Result, len(study.Workloads))
+	for _, w := range study.Workloads {
+		res, err := Run(opts.config(w, scheme))
+		if err != nil {
+			return nil, fmt.Errorf("lifetime baseline %s/%s: %w", w, scheme, err)
+		}
+		bases[w] = res
+	}
+	for _, p := range periods {
+		for _, sp := range spares {
+			cell := LifetimeCell{GapPeriod: p, SpareRows: sp}
+			for _, w := range study.Workloads {
+				base := bases[w]
+				cfg := opts.config(w, scheme)
+				cfg.WearLeveling = true
+				cfg.VWLPeriod = p
+				cfg.SpareRows = sp
+				if sp == 0 {
+					cfg.SpareRows = -1 // explicit "no spares", not the default pool
+				}
+				cfg.ProactiveWearLimit = base.MaxRowWrites/2 + 1
+				res, err := Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("lifetime %s gap=%d spares=%d: %w", w, p, sp, err)
+				}
+				var st remap.Stats
+				if res.Remap != nil {
+					st = *res.Remap
+				}
+				study.Remap.Merge(st)
+				cell.GapMoves += st.GapMoves
+				cell.SpareRemaps += st.SpareRemaps
+				cell.RelativeLifetime += relativeLifetime(base, res, &cfg, sp)
+				if base.AvgIPC() > 0 {
+					cell.IPCRatio += res.AvgIPC() / base.AvgIPC()
+				}
+			}
+			n := float64(len(study.Workloads))
+			cell.RelativeLifetime /= n
+			cell.IPCRatio /= n
+			study.Cells = append(study.Cells, cell)
+		}
+	}
+	return study, nil
+}
+
+// Series lists the sweep's printable column keys in cell order:
+// "spares=N life" then "spares=N ipc" for each spare-pool size.
+func (s *LifetimeStudy) Series() []string {
+	out := make([]string, 0, 2*len(s.SpareRows))
+	for _, sp := range s.SpareRows {
+		out = append(out, fmt.Sprintf("spares=%d life", sp))
+	}
+	for _, sp := range s.SpareRows {
+		out = append(out, fmt.Sprintf("spares=%d ipc", sp))
+	}
+	return out
+}
+
+// Rows renders the study for the experiment text printer: one row per
+// gap period, columns per Series.
+func (s *LifetimeStudy) Rows() []Row {
+	byKey := make(map[[2]int]LifetimeCell, len(s.Cells))
+	for _, c := range s.Cells {
+		byKey[[2]int{c.GapPeriod, c.SpareRows}] = c
+	}
+	out := make([]Row, 0, len(s.GapPeriods))
+	for _, p := range s.GapPeriods {
+		r := Row{Workload: fmt.Sprintf("gap=%d", p), Values: make(map[string]float64)}
+		for _, sp := range s.SpareRows {
+			c := byKey[[2]int{p, sp}]
+			r.Values[fmt.Sprintf("spares=%d life", sp)] = c.RelativeLifetime
+			r.Values[fmt.Sprintf("spares=%d ipc", sp)] = c.IPCRatio
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // WearLevelingImpact runs Section 6.4's performance check: the IPC cost

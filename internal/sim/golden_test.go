@@ -71,6 +71,46 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// goldenVWLRuns extends the golden pins to wear-leveling-enabled
+// configurations: the decoder refactor moved the start-gap shift behind
+// remap.Decoder.Resolve, and these strings — captured from the
+// pre-decoder implementation — prove the translation is bit-for-bit
+// unchanged, gap-move accounting included.
+var goldenVWLRuns = []struct {
+	workload, scheme string
+	vwlPeriod        int
+	want             string
+}{
+	{"lbm", SchemeHybrid, 0, // default period
+		"ticks=185129 ipc=0.3939153213364234 dr=378 dw=316 smb=0 mr=15 mw=0 sp=0 hit=278 miss=15 " +
+			"wsvc=175117.5 rlat=92975.5 rt=378 cds=45329 cdn=316 flips=53 canc=29 units=2528 bits=56831 gap=2"},
+	{"mcf", SchemeEst, 64,
+		"ticks=123179 ipc=0.6461965945439467 dr=807 dw=275 smb=0 mr=70 mw=0 sp=0 hit=153 miss=70 " +
+			"wsvc=143939.25 rlat=75691.25 rt=807 cds=-17696 cdn=275 flips=0 canc=0 units=2200 bits=20376 gap=4"},
+}
+
+// TestGoldenVWLDeterminism pins a wear-leveling-enabled run bit-for-bit:
+// the programmable decoder must reproduce the exact gap arithmetic,
+// maintenance traffic and timing the sim-owned StartGap produced.
+func TestGoldenVWLDeterminism(t *testing.T) {
+	for _, g := range goldenVWLRuns {
+		g := g
+		t.Run(fmt.Sprintf("%s/%s/period%d", g.workload, g.scheme, g.vwlPeriod), func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(t, g.workload, g.scheme)
+			cfg.WearLeveling = true
+			cfg.VWLPeriod = g.vwlPeriod
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := goldenKey(res) + fmt.Sprintf(" gap=%d", res.GapMoves); got != g.want {
+				t.Errorf("VWL run diverged from the pre-decoder pinned result\n got: %s\nwant: %s", got, g.want)
+			}
+		})
+	}
+}
+
 // TestGoldenRepeatable re-runs one golden configuration twice in-process
 // and demands identical results — the determinism half of the claim
 // (the engine's event ordering must not depend on map iteration, timer

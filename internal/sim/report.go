@@ -8,6 +8,7 @@ import (
 
 	"ladder/internal/fault"
 	"ladder/internal/metrics"
+	"ladder/internal/remap"
 	"ladder/internal/tracing"
 )
 
@@ -20,6 +21,10 @@ const BenchSchema = "ladder.bench/v1"
 
 // GridReportSchema versions the multi-run grid-report layout.
 const GridReportSchema = "ladder.grid-report/v1"
+
+// LifetimeReportSchema versions the lifetime-sweep report layout
+// (see LifetimeSweep in experiments.go).
+const LifetimeReportSchema = "ladder.lifetime-report/v1"
 
 // resetLatencySuffix is the per-channel RESET histogram name suffix; the
 // full names are "memctrl.ch<N>.reset_latency_ns" (docs/METRICS.md).
@@ -82,6 +87,12 @@ type Report struct {
 	// Faults is the fault-injection section (docs/FAULTS.md); present only
 	// on runs with Config.FaultRate > 0.
 	Faults *FaultSummary `json:"faults,omitempty"`
+
+	// Remap is the programmable-address-decoder section (docs/REMAP.md):
+	// gap moves, spare-row remaps and indirection-penalty accounting.
+	// Present only on runs where the decoder is built (wear leveling,
+	// fault injection, or proactive retirement enabled).
+	Remap *remap.Stats `json:"remap,omitempty"`
 }
 
 // FaultSummary is the report's fault-injection section: the injector's
@@ -124,6 +135,10 @@ func NewReport(res *Result) *Report {
 			Stats:        *res.Faults,
 			RetryLatency: summarizeLatency(snap, retryLatencySuffix),
 		}
+	}
+	if res.Remap != nil {
+		st := *res.Remap
+		r.Remap = &st
 	}
 	return r
 }
@@ -181,8 +196,12 @@ func (r *Report) WriteText(w io.Writer) error {
 	fmt.Fprintf(&b, "  RESET latency (all channels, %d RESETs): mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f ns\n",
 		rl.Count, rl.MeanNs, rl.P50Ns, rl.P95Ns, rl.P99Ns, rl.MaxNs)
 	if f := r.Faults; f != nil {
-		fmt.Fprintf(&b, "  faults: %d injected / %d checked, %d retries (mean %.1f ns), %d exhausted, %d rows remapped (%d spares used)\n",
-			f.Injected, f.Checked, f.Retries, f.RetryLatency.MeanNs, f.Exhausted, f.Remaps, f.SparesUsed)
+		fmt.Fprintf(&b, "  faults: %d injected / %d checked, %d retries (mean %.1f ns), %d exhausted\n",
+			f.Injected, f.Checked, f.Retries, f.RetryLatency.MeanNs, f.Exhausted)
+	}
+	if m := r.Remap; m != nil {
+		fmt.Fprintf(&b, "  remap: %d gap moves, %d spare remaps (%d spares used), %d lookups, %d penalty ticks\n",
+			m.GapMoves, m.SpareRemaps, m.SparesUsed, m.Lookups, m.PenaltyTicks)
 	}
 	b.WriteString(r.Metrics.Text())
 	_, err := io.WriteString(w, b.String())
@@ -236,6 +255,39 @@ func (b *BenchReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(b)
+}
+
+// LifetimeReport serializes a LifetimeSweep: identity, the swept knob
+// grids, per-combination cells and the merged decoder accounting (the
+// top-level "remap" object CI smoke checks assert against).
+type LifetimeReport struct {
+	Schema     string         `json:"schema"`
+	Scheme     string         `json:"scheme"`
+	Workloads  []string       `json:"workloads"`
+	GapPeriods []int          `json:"gap_periods"`
+	SpareRows  []int          `json:"spare_rows"`
+	Cells      []LifetimeCell `json:"cells"`
+	Remap      remap.Stats    `json:"remap"`
+}
+
+// Report freezes the study into its serializable form.
+func (s *LifetimeStudy) Report() *LifetimeReport {
+	return &LifetimeReport{
+		Schema:     LifetimeReportSchema,
+		Scheme:     s.Scheme,
+		Workloads:  append([]string(nil), s.Workloads...),
+		GapPeriods: append([]int(nil), s.GapPeriods...),
+		SpareRows:  append([]int(nil), s.SpareRows...),
+		Cells:      append([]LifetimeCell(nil), s.Cells...),
+		Remap:      s.Remap,
+	}
+}
+
+// WriteJSON emits the lifetime report as indented JSON.
+func (r *LifetimeReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // GridCell is one (workload, scheme) run's headline numbers inside a

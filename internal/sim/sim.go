@@ -20,6 +20,7 @@ import (
 	"ladder/internal/fault"
 	"ladder/internal/memctrl"
 	"ladder/internal/metrics"
+	"ladder/internal/remap"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
 	"ladder/internal/tracing"
@@ -181,11 +182,22 @@ type Config struct {
 	FaultRate float64
 	// FaultSeed seeds the injector's private PRNG stream (0 = reuse Seed).
 	FaultSeed int64
-	// RetryMax caps program-and-verify reissues per write (0 = default 3).
+	// RetryMax caps program-and-verify reissues per write (0 = default 3,
+	// negative = no reissues at all: transient failures remap directly).
 	RetryMax int
-	// SpareRows sizes each bank's spare-row pool (0 = default 32). A run
-	// that exhausts a pool fails with an error from Run.
+	// SpareRows sizes each bank's spare-row pool (0 = default 32,
+	// negative = no spares). A run that exhausts a pool on the fault path
+	// fails with an error from Run.
 	SpareRows int
+	// RemapPenaltyNs is the address-decoder indirection latency charged
+	// on accesses to spare-remapped rows (0 = default 2 ns, negative =
+	// free indirection).
+	RemapPenaltyNs float64
+	// ProactiveWearLimit, when positive, retires rows to spares once
+	// their effective write count reaches the limit — wear-limit-
+	// triggered proactive remapping through the address decoder,
+	// best-effort when the pool empties. Used by the lifetime sweep.
+	ProactiveWearLimit uint64
 }
 
 func (c *Config) applyDefaults() error {
@@ -244,11 +256,14 @@ type Result struct {
 	Stats core.Stats
 	// Energy in nanojoule-scaled units.
 	ReadNJ, WriteNJ float64
-	// TotalStoreWrites and MaxRowWrites feed the lifetime model
-	// (metadata writes persist through the cache backing, so the store
-	// counts data writes only; metadata traffic is in Stats.MetaWrites).
+	// TotalStoreWrites, MaxRowWrites and TouchedRows feed the lifetime
+	// model (metadata writes persist through the cache backing, so the
+	// store counts data writes only; metadata traffic is in
+	// Stats.MetaWrites). TouchedRows is the number of distinct wordline
+	// groups ever written.
 	TotalStoreWrites uint64
 	MaxRowWrites     uint64
+	TouchedRows      int
 	// GapMoves counts VWL migrations (wear leveling runs only).
 	GapMoves uint64
 	// PreCrashStats/PostCrashStats split the accounting around an
@@ -273,6 +288,10 @@ type Result struct {
 	// Faults holds the fault-injection accounting, non-nil only when
 	// Config.FaultRate > 0.
 	Faults *fault.Stats
+	// Remap holds the address decoder's accounting (gap moves, spare
+	// remaps, lookups, penalty ticks), non-nil whenever the decoder was
+	// active — wear leveling, fault injection or proactive retirement.
+	Remap *remap.Stats
 }
 
 // subtractStats returns after-minus-before for the additive counters used
@@ -378,8 +397,13 @@ func exportRunMetrics(reg *metrics.Registry, res *Result, geom reram.Geometry, s
 		reg.SetCounter("fault.injected", res.Faults.Injected)
 		reg.SetCounter("fault.retries", res.Faults.Retries)
 		reg.SetCounter("fault.exhausted", res.Faults.Exhausted)
-		reg.SetCounter("fault.remaps", res.Faults.Remaps)
-		reg.SetCounter("fault.spares_used", res.Faults.SparesUsed)
+	}
+	if res.Remap != nil {
+		reg.SetCounter("remap.gap_moves", res.Remap.GapMoves)
+		reg.SetCounter("remap.spare_remaps", res.Remap.SpareRemaps)
+		reg.SetCounter("remap.spares_used", res.Remap.SparesUsed)
+		reg.SetCounter("remap.decoder_lookups", res.Remap.Lookups)
+		reg.SetCounter("remap.penalty_ticks", res.Remap.PenaltyTicks)
 	}
 	for i, w := range store.BankWrites() {
 		bank := i % geom.BanksPerRank

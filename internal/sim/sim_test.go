@@ -419,6 +419,41 @@ func TestTraceReplayRejectsOversizedTrace(t *testing.T) {
 	}
 }
 
+func TestLifetimeSweep(t *testing.T) {
+	opts := Options{Instr: 15_000, Seed: 1, Tables: smallTables(t), Workloads: []string{"astar"}}
+	study, err := LifetimeSweep(opts, SchemeHybrid, []int{16, 64}, []int{0, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(study.Cells); got != 4 {
+		t.Fatalf("cells = %d, want 4 (2 periods x 2 spare sizes)", got)
+	}
+	for _, c := range study.Cells {
+		if c.RelativeLifetime <= 0 || c.IPCRatio <= 0 {
+			t.Fatalf("unpopulated cell: %+v", c)
+		}
+	}
+	if study.Remap.GapMoves == 0 {
+		t.Fatal("sweep recorded no gap moves; decoder rotation never ran")
+	}
+	rep := study.Report()
+	if rep.Schema != LifetimeReportSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Cells) != 4 || rep.Remap.GapMoves != study.Remap.GapMoves {
+		t.Fatal("report does not mirror the study")
+	}
+	rows, series := study.Rows(), study.Series()
+	if len(rows) != 2 || len(series) != 4 {
+		t.Fatalf("rows = %d series = %d, want 2 and 4", len(rows), len(series))
+	}
+	for _, s := range series {
+		if _, ok := rows[0].Values[s]; !ok {
+			t.Fatalf("row missing series %q", s)
+		}
+	}
+}
+
 func TestCacheSizeSweepAndLowRows(t *testing.T) {
 	opts := Options{Instr: 15_000, Seed: 1, Tables: smallTables(t), Workloads: []string{"astar"}}
 	// Inject the small geometry through config? Options builds default

@@ -14,11 +14,11 @@ import (
 	"ladder/internal/fault"
 	"ladder/internal/memctrl"
 	"ladder/internal/metrics"
+	"ladder/internal/remap"
 	"ladder/internal/reram"
 	"ladder/internal/timing"
 	"ladder/internal/trace"
 	"ladder/internal/tracing"
-	"ladder/internal/wear"
 )
 
 // drainCap bounds a controller drain: a system that cannot quiesce
@@ -33,18 +33,22 @@ const drainCap = 50_000_000
 // ordinary method so variants (warmup-only runs, checkpoint/resume
 // experiments) can compose them differently.
 type System struct {
-	cfg       Config
-	tables    *timing.TableSet
-	store     *reram.Store
-	stats     *core.Stats
-	reg       *metrics.Registry
-	env       *core.Env
-	meter     *energy.Meter
-	cores     []*cpu.Core
-	finish    []uint64
-	ctrls     []*memctrl.Controller
-	schemes   []core.Scheme
-	vwl       *wear.StartGap
+	cfg     Config
+	tables  *timing.TableSet
+	store   *reram.Store
+	stats   *core.Stats
+	reg     *metrics.Registry
+	env     *core.Env
+	meter   *energy.Meter
+	cores   []*cpu.Core
+	finish  []uint64
+	ctrls   []*memctrl.Controller
+	schemes []core.Scheme
+	// dec is the shared programmable address decoder (package remap):
+	// the one logical→physical indirection point — start-gap rotation,
+	// spare-row substitution, proactive retirement. Nil when neither
+	// wear leveling nor fault handling needs indirection.
+	dec       *remap.Decoder
 	lineRemap func(uint64) uint64
 	expected  map[uint64]bits.Line
 	started   time.Time
@@ -120,10 +124,9 @@ func newSystem(cfg Config) (*System, error) {
 			seed = cfg.Seed
 		}
 		s.inj, err = fault.NewInjector(fault.Config{
-			Rate:      cfg.FaultRate,
-			Seed:      seed,
-			RetryMax:  cfg.RetryMax,
-			SpareRows: cfg.SpareRows,
+			Rate:     cfg.FaultRate,
+			Seed:     seed,
+			RetryMax: sentinelCount(cfg.RetryMax),
 		})
 		if err != nil {
 			return nil, err
@@ -133,10 +136,12 @@ func newSystem(cfg Config) (*System, error) {
 	if err := s.buildCores(profiles); err != nil {
 		return nil, err
 	}
-	if err := s.buildControllers(); err != nil {
+	// The decoder is built before the controllers so Instrument sees it
+	// (like SetFaults, the hook must land before instruments are created).
+	if err := s.buildDecoder(); err != nil {
 		return nil, err
 	}
-	if err := s.buildWearLeveling(); err != nil {
+	if err := s.buildControllers(); err != nil {
 		return nil, err
 	}
 	if cfg.Verify {
@@ -216,6 +221,7 @@ func (s *System) buildControllers() error {
 			return err
 		}
 		s.ctrls[ch].SetFaults(s.inj)
+		s.ctrls[ch].SetDecoder(s.dec)
 		s.ctrls[ch].Instrument(s.reg, ch)
 		if s.tr != nil {
 			s.ctrls[ch].Trace(s.tr, ch)
@@ -224,56 +230,94 @@ func (s *System) buildControllers() error {
 	return nil
 }
 
-// buildWearLeveling configures optional vertical wear leveling.
-func (s *System) buildWearLeveling() error {
+// sentinelCount maps sim's zero-means-default convention for count
+// knobs (RetryMax, SpareRows) onto the fault/remap sentinel form:
+// 0 → UseDefault, negative → explicit zero (off), positive → as given.
+func sentinelCount(v int) int {
+	switch {
+	case v == 0:
+		return fault.UseDefault
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// sentinelNs does the same for the nanosecond penalty knob.
+func sentinelNs(v float64) float64 {
+	switch {
+	case v == 0:
+		return remap.UseDefault
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// buildDecoder configures the programmable address decoder: vertical
+// wear leveling (segment mode), the spare-row pool backing fault
+// remapping, and proactive wear-limit retirement all live behind it.
+// Line-mode VWL stays a plain address bijection applied before decode.
+func (s *System) buildDecoder() error {
 	cfg := s.cfg
-	if !cfg.WearLeveling {
+	needGap := false
+	if cfg.WearLeveling {
+		switch cfg.VWLMode {
+		case "", "segment":
+			// Segment-based Start-Gap: whole wordline groups move together,
+			// preserving the page→metadata-line association (Figure 18b).
+			// The decoder shifts crossbar rows; gap moves charge
+			// maintenance writes.
+			needGap = true
+		case "line":
+			if err := s.buildLineVWL(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("sim: unknown VWLMode %q", cfg.VWLMode)
+		}
+	}
+	needSpares := cfg.FaultRate > 0 || cfg.ProactiveWearLimit > 0
+	if !needGap && !needSpares {
 		return nil
 	}
-	switch cfg.VWLMode {
-	case "", "segment":
-		// Segment-based Start-Gap: whole wordline groups move together,
-		// preserving the page→metadata-line association (Figure 18b). The
-		// remap shifts crossbar rows; gap moves charge maintenance writes.
-		segments := int(cfg.Geom.Rows()/uint64(cfg.VWLSegmentRows)) + 1
-		vwl, err := wear.NewStartGap(segments, cfg.VWLPeriod)
-		if err != nil {
-			return err
-		}
-		s.vwl = vwl
-		for _, c := range s.ctrls {
-			c.SetRemap(func(loc reram.Location) reram.Location {
-				seg := int(cfg.Geom.GlobalRow(loc) / uint64(cfg.VWLSegmentRows))
-				// The modulo keeps the segment in range, so Phys cannot
-				// fail here; an error would leave the location unmoved.
-				phys, err := vwl.Phys(seg % vwl.Segments())
-				if err != nil {
-					return loc
-				}
-				loc.WL = (loc.WL + phys) % cfg.Geom.MatRows
-				return loc
-			})
-		}
-	case "line":
-		// Line-granularity leveling (Security-Refresh style): the
-		// steady-state address scatter distributes a page's blocks over
-		// different wordline groups — the case Section 6.4 warns
-		// deteriorates LRS-metadata locality. Modeled as a static XOR
-		// bijection over line addresses (epoch migrations not charged; the
-		// performance claim concerns the scatter).
-		lines := cfg.Geom.Lines()
-		if lines&(lines-1) != 0 {
-			return fmt.Errorf("sim: line-mode VWL requires a power-of-two line count")
-		}
-		// Rotate the slot bits to the top of the address: the 64 blocks of
-		// one page land in 64 different wordline groups (a bijection, so
-		// reads still find their data).
-		width := uint(mathbits.TrailingZeros64(lines))
-		s.lineRemap = func(line uint64) uint64 {
-			return (line>>6 | (line&63)<<(width-6)) & (lines - 1)
-		}
-	default:
-		return fmt.Errorf("sim: unknown VWLMode %q", cfg.VWLMode)
+	rc := remap.Config{
+		Geom:               cfg.Geom,
+		TicksPerNs:         memctrl.TicksPerNs,
+		SpareRows:          sentinelCount(cfg.SpareRows),
+		PenaltyNs:          sentinelNs(cfg.RemapPenaltyNs),
+		ProactiveWearLimit: cfg.ProactiveWearLimit,
+	}
+	if needGap {
+		rc.GapSegmentRows = cfg.VWLSegmentRows
+		rc.GapPeriod = cfg.VWLPeriod
+	}
+	dec, err := remap.NewDecoder(rc)
+	if err != nil {
+		return err
+	}
+	s.dec = dec
+	return nil
+}
+
+// buildLineVWL configures line-granularity wear leveling (Security-
+// Refresh style): the steady-state address scatter distributes a page's
+// blocks over different wordline groups — the case Section 6.4 warns
+// deteriorates LRS-metadata locality. Modeled as a static XOR bijection
+// over line addresses (epoch migrations not charged; the performance
+// claim concerns the scatter). It stays outside the decoder because it
+// rewrites line addresses before decode, not decoded row locations.
+func (s *System) buildLineVWL() error {
+	lines := s.cfg.Geom.Lines()
+	if lines&(lines-1) != 0 {
+		return fmt.Errorf("sim: line-mode VWL requires a power-of-two line count")
+	}
+	// Rotate the slot bits to the top of the address: the 64 blocks of
+	// one page land in 64 different wordline groups (a bijection, so
+	// reads still find their data).
+	width := uint(mathbits.TrailingZeros64(lines))
+	s.lineRemap = func(line uint64) uint64 {
+		return (line>>6 | (line&63)<<(width-6)) & (lines - 1)
 	}
 	return nil
 }
@@ -397,7 +441,7 @@ func (s *System) issue(coreID int, a trace.Access) bool {
 		if !c.EnqueueWrite(a.Line, a.Data, now) {
 			return false
 		}
-		if s.vwl != nil && s.vwl.RecordWrite() {
+		if s.dec.RecordWrite() {
 			c.EnqueueMaintenance(loc, now)
 		}
 		if s.expected != nil {
@@ -513,9 +557,12 @@ func (s *System) collect() (*Result, error) {
 		WriteNJ:          s.meter.WriteNJ,
 		TotalStoreWrites: s.store.TotalWrites(),
 		MaxRowWrites:     s.store.MaxRowWrites(),
+		TouchedRows:      s.store.TouchedRows(),
 	}
-	if s.vwl != nil {
-		res.GapMoves = s.vwl.Moves()
+	if s.dec != nil {
+		st := s.dec.Stats()
+		res.Remap = &st
+		res.GapMoves = st.GapMoves
 	}
 	if s.inj != nil {
 		st := s.inj.Stats()

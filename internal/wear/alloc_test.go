@@ -1,0 +1,32 @@
+// Allocation contracts for the wear hot paths. testing.AllocsPerRun is
+// meaningless under the race detector (instrumentation allocates), so
+// the whole file is excluded there; CI runs these in a dedicated
+// non-race step.
+//go:build !race
+
+package wear
+
+import "testing"
+
+// sink defeats dead-code elimination of the measured calls.
+var sink byte
+
+// TestRotateBytesAllocFree pins the in-place rotation: horizontal wear
+// leveling runs on every line read and write, so a per-call scratch
+// buffer would dominate the allocation profile.
+func TestRotateBytesAllocFree(t *testing.T) {
+	var line [64]byte
+	for i := range line {
+		line[i] = byte(i)
+	}
+	offsets := []int{1, 7, -3, 63, 129}
+	if n := testing.AllocsPerRun(100, func() {
+		for _, off := range offsets {
+			RotateBytes(line[:], off)
+			UnrotateBytes(line[:], off)
+		}
+		sink = line[0]
+	}); n != 0 {
+		t.Fatalf("RotateBytes/UnrotateBytes allocated %v times per run, want 0", n)
+	}
+}

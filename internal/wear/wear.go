@@ -78,7 +78,9 @@ func (s *StartGap) Segments() int { return s.n }
 // rotation by offset positions. The rotation is reversed on reads with
 // UnrotateBytes; it redistributes intra-line wear without changing the
 // line's metadata address (paper: HWL "shifts one byte at a time" and
-// needs no special LADDER handling).
+// needs no special LADDER handling). The rotation is in place — the
+// classic three-reversal identity — so the per-line read/write path
+// allocates nothing.
 func RotateBytes(line []byte, offset int) {
 	n := len(line)
 	if n == 0 {
@@ -88,11 +90,18 @@ func RotateBytes(line []byte, offset int) {
 	if offset == 0 {
 		return
 	}
-	tmp := make([]byte, n)
-	for i, b := range line {
-		tmp[(i+offset)%n] = b
+	// A right rotation by offset is reverse-prefix, reverse-suffix,
+	// reverse-whole with the split at n-offset.
+	reverseBytes(line[:n-offset])
+	reverseBytes(line[n-offset:])
+	reverseBytes(line)
+}
+
+// reverseBytes reverses b in place.
+func reverseBytes(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
 	}
-	copy(line, tmp)
 }
 
 // UnrotateBytes reverses RotateBytes.
@@ -133,7 +142,12 @@ func (m LifetimeModel) RelativeUnleveled(baselineMaxRow, schemeMaxRow uint64) fl
 
 // WritesUntilFailure returns how many more writes the hottest row can
 // absorb before the worst cell exceeds endurance, assuming each row write
-// stresses its cells once.
+// stresses its cells once. A row already past endurance has zero writes
+// left, never a negative count.
 func (m LifetimeModel) WritesUntilFailure(maxRowWrites uint64) float64 {
-	return m.EnduranceCycles - float64(maxRowWrites)
+	left := m.EnduranceCycles - float64(maxRowWrites)
+	if left < 0 {
+		return 0
+	}
+	return left
 }

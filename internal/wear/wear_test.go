@@ -148,4 +148,12 @@ func TestWritesUntilFailure(t *testing.T) {
 	if got := m.WritesUntilFailure(30); got != 70 {
 		t.Fatalf("remaining = %v", got)
 	}
+	// A row already past endurance has nothing left — never a negative
+	// count.
+	if got := m.WritesUntilFailure(150); got != 0 {
+		t.Fatalf("past-endurance remaining = %v, want 0", got)
+	}
+	if got := m.WritesUntilFailure(100); got != 0 {
+		t.Fatalf("at-endurance remaining = %v, want 0", got)
+	}
 }

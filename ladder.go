@@ -59,6 +59,12 @@ type (
 	Report = sim.Report
 	// GridReport serializes a whole experiment grid.
 	GridReport = sim.GridReport
+	// LifetimeStudy holds a LifetimeSweep's per-combination cells.
+	LifetimeStudy = sim.LifetimeStudy
+	// LifetimeCell is one (gap period, spare pool) combination's averages.
+	LifetimeCell = sim.LifetimeCell
+	// LifetimeReport serializes a lifetime study.
+	LifetimeReport = sim.LifetimeReport
 	// BenchReport is the BENCH_*.json perf-snapshot document.
 	BenchReport = sim.BenchReport
 	// ProgressInfo is the periodic run-progress snapshot delivered to
@@ -140,6 +146,13 @@ func RangeAblation(opts Options, scheme string, factor float64) ([]Row, error) {
 // WearLevelingImpact runs the Section 6.4 wear-leveling study.
 func WearLevelingImpact(opts Options, scheme string) ([]Row, error) {
 	return sim.WearLevelingImpact(opts, scheme)
+}
+
+// LifetimeSweep runs the decoder lifetime study: relative lifetime and
+// IPC overhead across a gap-move period × spare-pool grid. Pass nil for
+// the default grids. See docs/REMAP.md.
+func LifetimeSweep(opts Options, scheme string, periods, spares []int) (*LifetimeStudy, error) {
+	return sim.LifetimeSweep(opts, scheme, periods, spares)
 }
 
 // CrashRecoveryStudy runs the Section 7 crash-consistency scenario.
