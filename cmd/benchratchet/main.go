@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"ladder"
 	"ladder/internal/sim"
@@ -34,15 +35,16 @@ func main() {
 		seed      = flag.Int64("seed", 42, "simulation seed (matches the committed anchors)")
 		outDir    = flag.String("out", "", "write fresh snapshots into this directory (created if missing)")
 		update    = flag.Bool("update", false, "rewrite the anchor files in place with the fresh numbers")
+		label     = flag.String("label", "", "free-form provenance label stamped into fresh snapshots (e.g. the CI runner class)")
 	)
 	flag.Parse()
-	if err := run(*anchors, *threshold, *runs, *instr, *seed, *outDir, *update); err != nil {
+	if err := run(*anchors, *threshold, *runs, *instr, *seed, *outDir, *update, *label); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(glob string, threshold float64, runs int, instr uint64, seed int64, outDir string, update bool) error {
+func run(glob string, threshold float64, runs int, instr uint64, seed int64, outDir string, update bool, label string) error {
 	paths, err := filepath.Glob(glob)
 	if err != nil {
 		return fmt.Errorf("benchratchet: bad -anchors glob: %w", err)
@@ -65,7 +67,7 @@ func run(glob string, threshold float64, runs int, instr uint64, seed int64, out
 		if err != nil {
 			return err
 		}
-		fresh, err := measure(anchor, runs, instr, seed)
+		fresh, err := measure(anchor, runs, instr, seed, label)
 		if err != nil {
 			return err
 		}
@@ -100,7 +102,7 @@ func run(glob string, threshold float64, runs int, instr uint64, seed int64, out
 // tables, page cache) followed by `runs` measured runs, keeping the
 // fastest snapshot — the ratchet compares capability, not scheduler
 // luck, and a conservative fresh number only ever under-fails.
-func measure(a Anchor, runs int, instr uint64, seed int64) (*sim.BenchReport, error) {
+func measure(a Anchor, runs int, instr uint64, seed int64, label string) (*sim.BenchReport, error) {
 	if instr == 0 {
 		// Replay at the anchor's own scale so the measured window matches
 		// the committed one (short runs amortize startup differently).
@@ -132,6 +134,14 @@ func measure(a Anchor, runs int, instr uint64, seed int64) (*sim.BenchReport, er
 		if best == nil || doc.Metrics[speedMetric] > best.Metrics[speedMetric] {
 			best = doc
 		}
+	}
+	// Stamp the environment the numbers were measured under: comparing
+	// against an anchor from a different toolchain or core count is
+	// comparing different machines, and the snapshot should say so.
+	best.Provenance = &sim.BenchProvenance{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Label:      label,
 	}
 	return best, nil
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ladder/internal/sim"
 )
 
 // writeFile drops test anchor content into a temp dir.
@@ -86,6 +89,46 @@ func TestLoadAnchor(t *testing.T) {
 				t.Fatalf("LoadAnchor error = %v, want containing %q", err, tt.wantErr)
 			}
 		})
+	}
+}
+
+// TestProvenanceRoundTrip pins the provenance stamp through a write/
+// load cycle: a stamped snapshot survives as an anchor, and anchors
+// from before the stamp existed still load (nil Provenance).
+func TestProvenanceRoundTrip(t *testing.T) {
+	doc := sim.BenchReport{
+		Schema:   sim.BenchSchema,
+		Name:     "laddersim-lbm-LADDER-Hybrid",
+		Workload: "lbm",
+		Scheme:   "LADDER-Hybrid",
+		Metrics:  map[string]float64{"instr_per_sec": 1e6, "instructions_retired": 2e5},
+		Provenance: &sim.BenchProvenance{
+			GoVersion:  "go1.22.0",
+			GOMAXPROCS: 8,
+			Label:      "ci-standard",
+		},
+	}
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := writeFile(t, "BENCH_prov.json", buf.String())
+	a, err := LoadAnchor(path)
+	if err != nil {
+		t.Fatalf("LoadAnchor: %v", err)
+	}
+	p := a.Doc.Provenance
+	if p == nil || p.GoVersion != "go1.22.0" || p.GOMAXPROCS != 8 || p.Label != "ci-standard" {
+		t.Fatalf("provenance did not round-trip: %+v", p)
+	}
+
+	// Pre-provenance anchors carry no stamp and must still load.
+	old, err := LoadAnchor(writeFile(t, "BENCH_old.json", goodAnchor))
+	if err != nil {
+		t.Fatalf("LoadAnchor(pre-provenance): %v", err)
+	}
+	if old.Doc.Provenance != nil {
+		t.Fatalf("pre-provenance anchor grew a stamp: %+v", old.Doc.Provenance)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"ladder"
 	"ladder/internal/core"
 	"ladder/internal/introspect"
+	"ladder/internal/logging"
 	"ladder/internal/sim"
 	"ladder/internal/timing"
 )
@@ -55,8 +57,18 @@ func main() {
 
 		gapPeriods = flag.String("gap-periods", "", "comma-separated gap-move periods for the lifetime sweep (empty = defaults)")
 		spareGrid  = flag.String("spare-grid", "", "comma-separated spare-pool sizes for the lifetime sweep (empty = defaults)")
+
+		timelineInterval = flag.Uint64("timeline-interval", 0, "record a telemetry epoch every N simulated cycles in every run (0 disables; see docs/TIMELINE.md)")
+		timelineOut      = flag.String("timeline-out", "", "write the merged grid timeline to this file: a .csv extension selects CSV, anything else JSON (requires -timeline-interval and a grid experiment)")
+		logFormat        = flag.String("log-format", "", "diagnostic log format on stderr: text (default) or json")
 	)
 	flag.Parse()
+	var err error
+	lg, err = logging.New(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	switch {
 	case *faultRate < 0 || *faultRate >= 1:
 		fail(fmt.Errorf("-fault-rate must be in [0, 1), got %g", *faultRate))
@@ -66,6 +78,8 @@ func main() {
 		fail(fmt.Errorf("-spare-rows must be >= 0 (0 disables remapping), got %d", *spareRows))
 	case *jobs < 0:
 		fail(fmt.Errorf("-jobs must be >= 0 (0 = one worker per CPU), got %d", *jobs))
+	case *timelineOut != "" && *timelineInterval == 0:
+		fail(fmt.Errorf("-timeline-out requires -timeline-interval > 0 (no epochs are recorded otherwise)"))
 	}
 	periods, err := intList(*gapPeriods)
 	if err != nil {
@@ -92,7 +106,7 @@ func main() {
 		gridProgress = func(p ladder.GridProgress) { srv.Publish("grid", p) }
 	}
 
-	opts := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs}
+	opts := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs, TimelineInterval: *timelineInterval}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	// Cheap analytic experiments first.
@@ -107,7 +121,7 @@ func main() {
 	}
 
 	if want("fig2") {
-		grid := mustGrid(ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs, Workloads: ladder.SingleWorkloads()},
+		grid := mustGrid(ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs, TimelineInterval: *timelineInterval, Workloads: ladder.SingleWorkloads()},
 			[]string{ladder.SchemeBaseline, ladder.SchemeLocAware, ladder.SchemeOracle})
 		printRows("Figure 2 — normalized IPC (worst-case vs location-aware vs data/location-aware)",
 			grid.Speedup(), grid.Schemes)
@@ -166,7 +180,7 @@ func main() {
 	}
 
 	if want("lifetime") {
-		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs,
+		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs, TimelineInterval: *timelineInterval,
 			Workloads: []string{"lbm", "mcf", "mix-7"}}
 		study, err := ladder.LifetimeSweep(sub, ladder.SchemeHybrid, periods, spares)
 		if err != nil {
@@ -196,7 +210,7 @@ func main() {
 	}
 
 	if want("cachesize") {
-		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs,
+		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs, TimelineInterval: *timelineInterval,
 			Workloads: []string{"lbm", "mcf", "mix-7"}}
 		rows, err := ladder.CacheSizeSweep(sub, ladder.SchemeHybrid, nil)
 		if err != nil {
@@ -207,7 +221,7 @@ func main() {
 	}
 
 	if want("reliability") {
-		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs,
+		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs, TimelineInterval: *timelineInterval,
 			FaultSeed: *faultSeed, RetryMax: *retryMax, SpareRows: *spareRows,
 			Workloads: []string{"lbm", "mcf", "mix-7"}}
 		rates := []float64{0.001, 0.01}
@@ -230,7 +244,7 @@ func main() {
 	}
 
 	if want("lowrows") {
-		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs,
+		sub := ladder.Options{Instr: *instr, Seed: *seed, Jobs: *jobs, TimelineInterval: *timelineInterval,
 			Workloads: []string{"lbm", "mcf", "mix-7"}}
 		rows, err := ladder.LowPrecisionSweep(sub, nil)
 		if err != nil {
@@ -250,18 +264,38 @@ func main() {
 			writeReport(*report, "lifetime report", lifetimeStudy.Report().WriteJSON)
 			return
 		}
-		if mainFigureGrid != nil {
-			reportGrid = mainFigureGrid
-		}
-		if reportGrid == nil {
-			fail(fmt.Errorf("-report needs a grid experiment (fig2/fig12..fig17/fig15/fnw or all)"))
-		}
-		gr, err := ladder.NewGridReport(reportGrid)
-		if err != nil {
-			fail(err)
-		}
+		gr := mustGridReport()
 		writeReport(*report, "grid report", gr.WriteJSON)
 	}
+	if *timelineOut != "" {
+		// The grid report carries the cells' timelines merged epoch-by-
+		// epoch (cells run the same instruction budget, so epochs align).
+		gr := mustGridReport()
+		if gr.Timeline == nil {
+			fail(fmt.Errorf("-timeline-out: the selected experiment produced no timeline"))
+		}
+		write := gr.Timeline.WriteJSON
+		if strings.HasSuffix(*timelineOut, ".csv") {
+			write = gr.Timeline.WriteCSV
+		}
+		writeReport(*timelineOut, "merged timeline", write)
+	}
+}
+
+// mustGridReport freezes the grid the selected experiments built, or
+// fails if none ran.
+func mustGridReport() *ladder.GridReport {
+	if mainFigureGrid != nil {
+		reportGrid = mainFigureGrid
+	}
+	if reportGrid == nil {
+		fail(fmt.Errorf("-report and -timeline-out need a grid experiment (fig2/fig12..fig17/fig15/fnw or all)"))
+	}
+	gr, err := ladder.NewGridReport(reportGrid)
+	if err != nil {
+		fail(err)
+	}
+	return gr
 }
 
 // writeReport creates path and streams a JSON document into it via emit.
@@ -309,8 +343,12 @@ var reportGrid, mainFigureGrid *ladder.Grid
 // -report under -exp lifetime.
 var lifetimeStudy *ladder.LifetimeStudy
 
+// lg is the process logger (-log-format), set before any experiment
+// runs; fail routes every fatal error through it.
+var lg *slog.Logger
+
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
+	lg.Error("experiment failed", "err", err)
 	os.Exit(1)
 }
 

@@ -28,6 +28,16 @@ func validateFlags(traceSample, traceSlowest int, faultRate float64, retryMax, s
 	return nil
 }
 
+// validateTimelineFlags rejects a -timeline-out with no sampling
+// cadence: without -timeline-interval the run records no epochs and the
+// export would silently write an empty document.
+func validateTimelineFlags(interval uint64, out string) error {
+	if out != "" && interval == 0 {
+		return fmt.Errorf("-timeline-out requires -timeline-interval > 0 (no epochs are recorded otherwise)")
+	}
+	return nil
+}
+
 // flagCount maps the CLI convention (flag value is the literal setting;
 // 0 disables) onto sim.Config's backward-compatible convention (0 means
 // default, negative means disabled).

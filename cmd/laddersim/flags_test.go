@@ -74,6 +74,21 @@ func TestFlagSentinelMapping(t *testing.T) {
 	}
 }
 
+func TestValidateTimelineFlags(t *testing.T) {
+	if err := validateTimelineFlags(0, ""); err != nil {
+		t.Errorf("both off: unexpected error %v", err)
+	}
+	if err := validateTimelineFlags(10_000, "tl.csv"); err != nil {
+		t.Errorf("interval with output: unexpected error %v", err)
+	}
+	if err := validateTimelineFlags(10_000, ""); err != nil {
+		t.Errorf("interval without output: unexpected error %v", err)
+	}
+	if err := validateTimelineFlags(0, "tl.json"); err == nil || !strings.Contains(err.Error(), "-timeline-interval") {
+		t.Errorf("output without interval: error %v does not name -timeline-interval", err)
+	}
+}
+
 func TestValidateServeFlags(t *testing.T) {
 	cases := []struct {
 		name                        string

@@ -12,17 +12,22 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"ladder"
 	"ladder/internal/introspect"
+	"ladder/internal/logging"
+	"ladder/internal/metrics"
+	"ladder/internal/timeline"
 )
 
 func main() {
@@ -45,6 +50,10 @@ func main() {
 		traceSlowest = flag.Int("trace-slowest", 0, "print the N slowest traced writes after the run (enables tracing)")
 		httpAddr     = flag.String("http", "", "serve live introspection (pprof, metrics, progress, spans) on this address, e.g. :6060")
 
+		timelineInterval = flag.Uint64("timeline-interval", 0, "record a telemetry epoch every N simulated cycles (0 disables; see docs/TIMELINE.md)")
+		timelineOut      = flag.String("timeline-out", "", "write the run timeline to this file: a .csv extension selects CSV, anything else JSON (requires -timeline-interval)")
+		logFormat        = flag.String("log-format", "", "diagnostic log format on stderr: text (the default; -serve defaults to json) or json")
+
 		faultRate     = flag.Float64("fault-rate", 0, "base transient write-fault probability in [0, 1); 0 disables injection (see docs/FAULTS.md)")
 		faultSeed     = flag.Int64("fault-seed", 0, "fault-injector PRNG seed (0 = reuse -seed)")
 		retryMax      = flag.Int("retry-max", 3, "program-and-verify reissue cap per write (0 disables reissues)")
@@ -59,12 +68,27 @@ func main() {
 		maxInstr   = flag.Uint64("max-instr", 10_000_000, "largest per-core instruction budget a -serve request may ask for")
 	)
 	flag.Parse()
-	if err := validateFlags(*traceSample, *traceSlowest, *faultRate, *retryMax, *spareRows, *remapPenalty); err != nil {
+	// Service mode defaults to JSON records (log pipelines); interactive
+	// runs default to text. Either mode takes an explicit -log-format.
+	format := *logFormat
+	if *serve && format == "" {
+		format = logging.FormatJSON
+	}
+	lg, err := logging.New(format, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "laddersim:", err)
 		os.Exit(2)
 	}
+	if err := validateFlags(*traceSample, *traceSlowest, *faultRate, *retryMax, *spareRows, *remapPenalty); err != nil {
+		lg.Error("invalid flags", "err", err)
+		os.Exit(2)
+	}
+	if err := validateTimelineFlags(*timelineInterval, *timelineOut); err != nil {
+		lg.Error("invalid flags", "err", err)
+		os.Exit(2)
+	}
 	if err := validateServeFlags(*jobs, *queueDepth, *cacheSize); err != nil {
-		fmt.Fprintln(os.Stderr, "laddersim:", err)
+		lg.Error("invalid flags", "err", err)
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -87,6 +111,7 @@ func main() {
 			queueDepth: *queueDepth,
 			cacheSize:  *cacheSize,
 			maxInstr:   *maxInstr,
+			logger:     lg,
 		}))
 	}
 
@@ -106,6 +131,8 @@ func main() {
 
 		RemapPenaltyNs:     flagNs(*remapPenalty),
 		ProactiveWearLimit: *proactiveWear,
+
+		TimelineInterval: *timelineInterval,
 	}
 	// -http implies tracing so the live /spans feed has content.
 	if *traceOut != "" || *traceSlowest > 0 || *httpAddr != "" {
@@ -117,7 +144,7 @@ func main() {
 		var err error
 		srv, err = introspect.New(*httpAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			lg.Error("introspection server failed", "err", err)
 			os.Exit(1)
 		}
 		// Graceful drain with a bounded grace period: in-flight scrapes
@@ -135,20 +162,59 @@ func main() {
 			// default 5M-cycle period outlives many of them.
 			cfg.ProgressEvery = 250_000
 		}
+		// The latest progress snapshot doubles as the Prometheus scrape
+		// source: /metrics/prom serves it labeled with the run identity.
+		var promMu sync.Mutex
+		var promSnap metrics.Snapshot
+		runLabel := []metrics.PromLabel{{Name: "run", Value: *workload + "/" + *scheme}}
+		srv.Handle("GET /metrics/prom", introspect.PromHandler(func() (metrics.Snapshot, []metrics.PromLabel, []metrics.PromSample) {
+			promMu.Lock()
+			defer promMu.Unlock()
+			return promSnap, runLabel, nil
+		}))
 		cfg.Progress = func(p ladder.ProgressInfo) {
 			srv.Publish("progress", p)
 			if p.Metrics != nil {
 				srv.Publish("metrics", p.Metrics)
+				promMu.Lock()
+				promSnap = *p.Metrics
+				promMu.Unlock()
 			}
 			if p.Spans != nil {
 				srv.Publish("spans", p.Spans)
 			}
 		}
+		if *timelineInterval > 0 {
+			// Live timeline: every closed epoch appends to the /timeline
+			// document and streams to /timeline/events subscribers as SSE.
+			broker := introspect.NewBroker(0)
+			srv.Handle("GET /timeline/events", broker)
+			var tlMu sync.Mutex
+			var epochs []ladder.TimelineEpoch
+			cfg.TimelineOnEpoch = func(e ladder.TimelineEpoch) {
+				tlMu.Lock()
+				epochs = append(epochs, e)
+				tlMu.Unlock()
+				if ev, err := json.Marshal(e); err == nil {
+					broker.Publish(ev)
+				}
+			}
+			srv.PublishFunc("timeline", func() any {
+				tlMu.Lock()
+				defer tlMu.Unlock()
+				return ladder.Timeline{
+					Schema:            timeline.Schema,
+					Interval:          *timelineInterval,
+					EffectiveInterval: *timelineInterval,
+					Epochs:            append([]ladder.TimelineEpoch(nil), epochs...),
+				}
+			})
+		}
 	}
 
 	res, err := ladder.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "laddersim:", err)
+		lg.Error("run failed", "workload", *workload, "scheme", *scheme, "err", err)
 		os.Exit(1)
 	}
 
@@ -204,22 +270,34 @@ func main() {
 	}
 	if *report != "" {
 		if err := writeJSONFile(*report, rep.WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			lg.Error("writing report", "path", *report, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("report written      %s\n", *report)
 	}
+	if *timelineOut != "" && res.Timeline != nil {
+		write := res.Timeline.WriteJSON
+		if strings.HasSuffix(*timelineOut, ".csv") {
+			write = res.Timeline.WriteCSV
+		}
+		if err := writeJSONFile(*timelineOut, write); err != nil {
+			lg.Error("writing timeline", "path", *timelineOut, "err", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline written    %s (%d epochs of %d cycles)\n",
+			*timelineOut, len(res.Timeline.Epochs), res.Timeline.EffectiveInterval)
+	}
 	if *bench != "" {
 		doc := rep.Bench(fmt.Sprintf("laddersim-%s-%s", res.Workload, res.Scheme))
 		if err := writeJSONFile(*bench, doc.WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			lg.Error("writing bench snapshot", "path", *bench, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("bench written       %s\n", *bench)
 	}
 	if *traceOut != "" {
 		if err := writeJSONFile(*traceOut, res.Trace.WriteChromeTrace); err != nil {
-			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			lg.Error("writing trace", "path", *traceOut, "err", err)
 			os.Exit(1)
 		}
 		sum := res.Trace.Summary()
@@ -229,7 +307,7 @@ func main() {
 	if *traceSlowest > 0 {
 		fmt.Println()
 		if err := res.Trace.WriteSlowestDigest(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "laddersim:", err)
+			lg.Error("writing slowest-write digest", "err", err)
 			os.Exit(1)
 		}
 	}

@@ -3,7 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
-	"os"
+	"log/slog"
 	"time"
 
 	"ladder/internal/introspect"
@@ -17,6 +17,7 @@ type serveConfig struct {
 	queueDepth int
 	cacheSize  int
 	maxInstr   uint64
+	logger     *slog.Logger
 }
 
 // runServe turns the process into the long-running simulation service
@@ -27,7 +28,7 @@ type serveConfig struct {
 func runServe(ctx context.Context, cfg serveConfig) int {
 	srv, err := introspect.New(cfg.addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "laddersim:", err)
+		cfg.logger.Error("introspection server failed", "addr", cfg.addr, "err", err)
 		return 1
 	}
 	svc := service.New(service.Config{
@@ -35,6 +36,7 @@ func runServe(ctx context.Context, cfg serveConfig) int {
 		CacheSize:  cfg.cacheSize,
 		Jobs:       cfg.jobs,
 		MaxInstr:   cfg.maxInstr,
+		Logger:     cfg.logger,
 	})
 	for _, pattern := range svc.Routes() {
 		srv.Handle(pattern, svc.Handler())
@@ -46,8 +48,9 @@ func runServe(ctx context.Context, cfg serveConfig) int {
 	srv.PublishFunc("metrics", func() any { return svc.MetricsSnapshot() })
 
 	fmt.Printf("laddersim service   http://%s/jobs (introspection at /, pprof under /debug/pprof/)\n", srv.Addr())
+	cfg.logger.Info("service listening", "addr", srv.Addr())
 	<-ctx.Done()
-	fmt.Println("laddersim: shutting down (in-flight job finishes its grid cells)")
+	cfg.logger.Info("shutting down", "reason", "signal", "drain", "in-flight job finishes its grid cells")
 
 	// Stop the executor first so no new job starts, then drain HTTP with
 	// a bounded grace period.

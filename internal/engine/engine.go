@@ -42,9 +42,18 @@ type Engine struct {
 	processed bool   // at least one cycle has been processed
 	last      uint64 // last processed cycle (valid when processed)
 
-	progressEvery uint64
-	onProgress    func(now uint64)
-	nextProgress  uint64
+	// hooks are the installed periodic callbacks (progress, observers),
+	// fired in installation order at the top of their boundary cycles.
+	hooks []periodicHook
+}
+
+// periodicHook is one installed periodic callback: fn fires at the top
+// of every cycle t with (t+1) divisible by every, before any actor
+// advances. next tracks the hook's next boundary cycle.
+type periodicHook struct {
+	every uint64
+	fn    func(now uint64)
+	next  uint64
 }
 
 // New returns an engine with its first cycle (0) scheduled.
@@ -73,20 +82,51 @@ func (e *Engine) Schedule(t uint64) { e.q.Push(t, nil) }
 // installed the engine never wakes for progress, so the hook costs
 // nothing when unused.
 func (e *Engine) SetProgress(every uint64, fn func(now uint64)) {
+	e.addHook(every, fn)
+}
+
+// SetObserver installs a second periodic callback with SetProgress's
+// exact semantics, for observer-only instrumentation (the timeline
+// epoch sampler). The separation is deliberate: an observer is NOT an
+// actor — it fires before any actor advances, schedules nothing, and
+// must not mutate simulation state, so installing one cannot change
+// which cycles actors perceive or the order they advance in. Boundary
+// cycles are only forced while a real event is pending, so an observer
+// never keeps an otherwise-finished simulation alive, and the extra
+// processed cycles are dead ones (no actor acts), which the engine
+// contract already makes equivalent to skipping. Multiple hooks may
+// coexist; at a shared boundary they fire in installation order.
+func (e *Engine) SetObserver(every uint64, fn func(now uint64)) {
+	e.addHook(every, fn)
+}
+
+// addHook registers one periodic callback. A zero period or nil
+// callback installs nothing, keeping the unused path free.
+func (e *Engine) addHook(every uint64, fn func(now uint64)) {
 	if every == 0 || fn == nil {
 		return
 	}
-	e.progressEvery = every
-	e.onProgress = fn
-	e.nextProgress = every - 1
+	e.hooks = append(e.hooks, periodicHook{every: every, fn: fn, next: every - 1})
+}
+
+// nextHookAt returns the earliest pending hook boundary (Horizon when
+// no hooks are installed).
+func (e *Engine) nextHookAt() uint64 {
+	next := Horizon
+	for i := range e.hooks {
+		if e.hooks[i].next < next {
+			next = e.hooks[i].next
+		}
+	}
+	return next
 }
 
 // nextTime pops the earliest useful scheduled time: duplicates and
 // events at or before the last processed cycle (satisfied by a clock
-// jump) are discarded. A pending progress boundary earlier than the next
-// real event is processed first (without consuming the event), so
-// progress keeps firing through long dead windows but never keeps an
-// otherwise-finished simulation alive.
+// jump) are discarded. A pending hook boundary (progress, observer)
+// earlier than the next real event is processed first (without
+// consuming the event), so hooks keep firing through long dead windows
+// but never keep an otherwise-finished simulation alive.
 func (e *Engine) nextTime() (uint64, bool) {
 	for {
 		t, ok := e.q.Peek()
@@ -97,8 +137,8 @@ func (e *Engine) nextTime() (uint64, bool) {
 			e.q.Pop()
 			continue
 		}
-		if e.onProgress != nil && e.nextProgress < t {
-			return e.nextProgress, true
+		if h := e.nextHookAt(); h < t {
+			return h, true
 		}
 		// Coalesce every entry for this cycle.
 		for {
@@ -113,7 +153,7 @@ func (e *Engine) nextTime() (uint64, bool) {
 }
 
 // Step advances simulated time to the next scheduled cycle and processes
-// it: the progress hook fires, then every actor advances in order, then
+// it: periodic hooks fire, then every actor advances in order, then
 // each actor's next event is re-scheduled. Returns false when no events
 // remain — with live actors that means the simulation is deadlocked, as
 // a healthy system always has a next event.
@@ -123,8 +163,10 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	e.clock.AdvanceTo(t)
-	if e.onProgress != nil && (t+1)%e.progressEvery == 0 {
-		e.onProgress(t)
+	for i := range e.hooks {
+		if (t+1)%e.hooks[i].every == 0 {
+			e.hooks[i].fn(t)
+		}
 	}
 	active := false
 	for _, a := range e.actors {
@@ -153,8 +195,10 @@ func (e *Engine) Step() bool {
 	if next != Horizon {
 		e.q.Push(next, nil)
 	}
-	if e.onProgress != nil && e.nextProgress <= now {
-		e.nextProgress = ((now+1)/e.progressEvery+1)*e.progressEvery - 1
+	for i := range e.hooks {
+		if h := &e.hooks[i]; h.next <= now {
+			h.next = ((now+1)/h.every+1)*h.every - 1
+		}
 	}
 	return true
 }

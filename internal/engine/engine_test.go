@@ -89,6 +89,68 @@ func TestEngineProgressHook(t *testing.T) {
 	}
 }
 
+func TestEngineObserverHook(t *testing.T) {
+	e := New()
+	p := &pulseActor{busyUntil: 2500}
+	e.Add(p)
+	var progress, observer []uint64
+	e.SetProgress(1000, func(now uint64) { progress = append(progress, now) })
+	e.SetObserver(700, func(now uint64) { observer = append(observer, now) })
+	for e.Step() {
+	}
+	// The observer's boundaries inside the live window: 699, 1399, 2099.
+	// 2799 is after the last real event, so it never fires — an observer
+	// must not keep a finished simulation alive.
+	wantObs := []uint64{699, 1399, 2099}
+	if len(observer) != len(wantObs) || observer[0] != 699 || observer[1] != 1399 || observer[2] != 2099 {
+		t.Fatalf("observer fired at %v, want %v", observer, wantObs)
+	}
+	// The progress hook coexists, unchanged by the observer's presence.
+	if len(progress) != 2 || progress[0] != 999 || progress[1] != 1999 {
+		t.Fatalf("progress fired at %v, want [999 1999]", progress)
+	}
+	// Actor-visible cycles: observer boundaries are processed (dead)
+	// cycles, so the pulse actor sees them too — the contract is that dead
+	// cycles are state-neutral, not invisible.
+	if e.Clock().Now() != 2501 {
+		t.Fatalf("clock = %d, want 2501", e.Clock().Now())
+	}
+}
+
+func TestEngineObserverSharedBoundaryOrder(t *testing.T) {
+	e := New()
+	p := &pulseActor{busyUntil: 1200}
+	e.Add(p)
+	var order []string
+	e.SetProgress(500, func(uint64) { order = append(order, "progress") })
+	e.SetObserver(500, func(uint64) { order = append(order, "observer") })
+	for e.Step() {
+	}
+	// Boundaries 499 and 999 fire both hooks, in installation order.
+	want := []string{"progress", "observer", "progress", "observer"}
+	if len(order) != len(want) {
+		t.Fatalf("hooks fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hooks fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineObserverZeroPeriodDisabled(t *testing.T) {
+	e := New()
+	w := &watcherActor{}
+	e.Add(w)
+	e.SetObserver(0, func(uint64) { t.Fatal("zero-period observer fired") })
+	e.SetObserver(10, nil)
+	for e.Step() {
+	}
+	if len(e.hooks) != 0 {
+		t.Fatalf("disabled observers installed %d hooks", len(e.hooks))
+	}
+}
+
 func TestEngineExternalScheduleAndStaleDiscard(t *testing.T) {
 	e := New()
 	w := &watcherActor{}

@@ -1,0 +1,32 @@
+package introspect
+
+import (
+	"net/http"
+
+	"ladder/internal/metrics"
+)
+
+// PromSource supplies one Prometheus scrape: a frozen snapshot, the
+// labels shared by every sample, and any extra process-level samples.
+// It runs on HTTP handler goroutines and must be safe for concurrent
+// calls (freeze under the caller's own lock).
+type PromSource func() (metrics.Snapshot, []metrics.PromLabel, []metrics.PromSample)
+
+// PromHandler adapts a PromSource into the GET /metrics/prom endpoint:
+// each scrape re-evaluates the source and renders it in the Prometheus
+// text exposition format (metrics.WritePrometheus).
+func PromHandler(source PromSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap, labels, extra := source()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r.Method == http.MethodHead {
+			return
+		}
+		//nolint:errcheck // best-effort response body
+		metrics.WritePrometheus(w, snap, labels, extra...)
+	})
+}

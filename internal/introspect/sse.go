@@ -1,0 +1,118 @@
+package introspect
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// subBuffer is each SSE subscriber's channel depth; a subscriber whose
+// connection stalls past it misses events rather than stalling the
+// publisher.
+const subBuffer = 64
+
+// DefaultSSEKeepalive is the comment-frame cadence for idle SSE
+// streams. Proxies and load balancers reap silent connections; a
+// keepalive comment every few seconds keeps the stream open without
+// delivering any event to the client's handler.
+const DefaultSSEKeepalive = 15 * time.Second
+
+// Broker fans published events out to Server-Sent-Events subscribers:
+// the live half of the timeline endpoint (each closed epoch streams to
+// every watcher) and anything else that wants a push feed. Publish
+// never blocks — a slow subscriber drops events, not the simulation.
+type Broker struct {
+	keepalive time.Duration
+
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+}
+
+// NewBroker returns a broker sending keepalive comments at the given
+// cadence (0 = DefaultSSEKeepalive, negative = disabled).
+func NewBroker(keepalive time.Duration) *Broker {
+	if keepalive == 0 {
+		keepalive = DefaultSSEKeepalive
+	}
+	return &Broker{keepalive: keepalive, subs: make(map[chan []byte]struct{})}
+}
+
+// Publish sends one event body (pre-marshaled JSON, no framing) to
+// every subscriber, non-blocking: a subscriber whose buffer is full
+// misses this event. Safe on a nil broker and from any goroutine.
+func (b *Broker) Publish(body []byte) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- body:
+		default:
+		}
+	}
+}
+
+// Subscribers reports the current subscriber count.
+func (b *Broker) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+func (b *Broker) subscribe() chan []byte {
+	ch := make(chan []byte, subBuffer)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+func (b *Broker) unsubscribe(ch chan []byte) {
+	b.mu.Lock()
+	delete(b.subs, ch)
+	b.mu.Unlock()
+}
+
+// ServeHTTP streams the broker's events as text/event-stream: one
+// "data:" frame per published body, a ": keepalive" comment on every
+// idle keepalive period, until the client disconnects.
+func (b *Broker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch := b.subscribe()
+	defer b.unsubscribe(ch)
+
+	var keep <-chan time.Time
+	if b.keepalive > 0 {
+		t := time.NewTicker(b.keepalive)
+		defer t.Stop()
+		keep = t.C
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case body := <-ch:
+			fmt.Fprintf(w, "data: %s\n\n", body)
+			fl.Flush()
+		case <-keep:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}

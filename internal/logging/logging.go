@@ -1,0 +1,36 @@
+// Package logging builds the slog loggers the CLIs and the service
+// share: one -log-format flag ("text" for humans, "json" for log
+// pipelines), one construction path, stderr only — simulation results
+// stay on stdout, so `laddersim ... | jq` keeps working regardless of
+// log volume.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Formats accepted by New (the -log-format flag values).
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// New builds a logger writing to w in the given format. An empty format
+// means text; anything else is a usage error.
+func New(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "", FormatText:
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("logging: unknown format %q (want %s or %s)", format, FormatText, FormatJSON)
+}
+
+// Discard returns a logger that drops everything — the default for
+// libraries whose caller supplied no logger.
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

@@ -1,0 +1,42 @@
+package logging
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := New(FormatJSON, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("job started", "job", "abc123")
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("json format emitted non-JSON %q: %v", buf.String(), err)
+	}
+	if doc["msg"] != "job started" || doc["job"] != "abc123" {
+		t.Errorf("json record = %v", doc)
+	}
+
+	buf.Reset()
+	lg, err = New("", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello")
+	if !strings.Contains(buf.String(), "msg=hello") {
+		t.Errorf("text record = %q", buf.String())
+	}
+
+	if _, err := New("yaml", &buf); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestDiscardDropsEverything(t *testing.T) {
+	Discard().Error("nobody hears this")
+}

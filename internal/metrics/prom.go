@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromLabel is one name="value" label pair attached to exported samples.
+type PromLabel struct {
+	Name  string
+	Value string
+}
+
+// PromSample is one extra sample to export alongside a snapshot —
+// process-level series (active jobs, uptime) that live outside any
+// registry. Type must be "counter" or "gauge"; counter names get the
+// "_total" suffix appended like registry counters do.
+type PromSample struct {
+	Name   string
+	Type   string
+	Help   string
+	Value  float64
+	Labels []PromLabel
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4), the form /metrics/prom serves:
+//
+//   - counters export as "ladder_<name>_total" (dots become underscores),
+//   - gauges export their last observation as "ladder_<name>",
+//   - histograms export cumulative "_bucket{le=...}" series ending in
+//     le="+Inf", plus "_sum" and "_count",
+//   - grids (2-D bucket matrices, up to 512×512 cells) export as a
+//     single "ladder_<name>_total" holding the cell sum — cell-wise
+//     export would be a cardinality explosion no scraper wants.
+//
+// The shared labels attach to every sample (run identity, job ID), and
+// extras append after the snapshot's instruments. Output is sorted by
+// metric name, so identical inputs render byte-identically. The result
+// passes promcheck.Lint; a test pins that.
+func WritePrometheus(w io.Writer, s Snapshot, labels []PromLabel, extra ...PromSample) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := promName(n) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n", m)
+		fmt.Fprintf(&b, "%s%s %s\n", m, promLabels(labels, nil), promFloat(float64(s.Counters[n])))
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", m)
+		fmt.Fprintf(&b, "%s%s %s\n", m, promLabels(labels, nil), promFloat(s.Gauges[n].Last))
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		m := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", m)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			le := PromLabel{Name: "le", Value: promFloat(bound)}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", m, promLabels(labels, &le), cum)
+		}
+		le := PromLabel{Name: "le", Value: "+Inf"}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", m, promLabels(labels, &le), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", m, promLabels(labels, nil), promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", m, promLabels(labels, nil), h.Count)
+	}
+
+	names = names[:0]
+	for n := range s.Grids {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var total uint64
+		for _, row := range s.Grids[n].Counts {
+			for _, c := range row {
+				total += c
+			}
+		}
+		m := promName(n) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n", m)
+		fmt.Fprintf(&b, "%s%s %s\n", m, promLabels(labels, nil), promFloat(float64(total)))
+	}
+
+	// Extras may repeat a name with different labels (one series per
+	// job); the family is declared once, on first occurrence.
+	declared := map[string]string{}
+	for _, x := range extra {
+		if x.Type != "counter" && x.Type != "gauge" {
+			return fmt.Errorf("metrics: extra sample %q has type %q (want counter or gauge)", x.Name, x.Type)
+		}
+		m := promName(x.Name)
+		if x.Type == "counter" {
+			m += "_total"
+		}
+		if prev, ok := declared[m]; ok {
+			if prev != x.Type {
+				return fmt.Errorf("metrics: extra sample %q redeclared as %s (was %s)", x.Name, x.Type, prev)
+			}
+		} else {
+			if x.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m, promEscapeHelp(x.Help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m, x.Type)
+			declared[m] = x.Type
+		}
+		fmt.Fprintf(&b, "%s%s %s\n", m, promLabels(append(append([]PromLabel{}, labels...), x.Labels...), nil), promFloat(x.Value))
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a registry instrument name onto the Prometheus
+// namespace: "ladder_" prefix, dots and any other character outside
+// [a-zA-Z0-9_] become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("ladder_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set (plus an optional extra label, for
+// histogram "le") as {a="b",c="d"}, empty string for no labels.
+func promLabels(labels []PromLabel, extra *PromLabel) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(l.Name))
+		b.WriteString(`="`)
+		b.WriteString(promEscapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra.Name)
+		b.WriteString(`="`)
+		b.WriteString(promEscapeValue(extra.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promLabelName sanitizes a label name to [a-zA-Z_][a-zA-Z0-9_]*.
+func promLabelName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscapeValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func promEscapeValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promEscapeHelp escapes a HELP text: backslash and newline only (quotes
+// are legal there).
+func promEscapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promFloat renders a sample value: shortest round-trippable form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,270 @@
+// Package promcheck lints Prometheus text-exposition output (format
+// 0.0.4) the way `promtool check metrics` would, without the
+// dependency: metric and label names must be legal, every sample needs
+// a preceding # TYPE for its family, counters must end in _total,
+// histograms must expose cumulative (monotone nondecreasing) buckets
+// ending in le="+Inf" with matching _sum/_count. CI and the service
+// tests run every /metrics/prom body through Lint so a malformed
+// exposition fails before a real scraper sees it.
+package promcheck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleRe splits a sample line into name, optional label block, and
+	// the value (timestamps are not used by our exporters and are
+	// rejected by the value parse).
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// family tracks one declared metric family while linting.
+type family struct {
+	typ string
+	// buckets tracks per-labelset histogram bucket state: previous
+	// cumulative count and le, and whether +Inf closed the series.
+	buckets map[string]*bucketState
+	samples int
+}
+
+type bucketState struct {
+	prev   float64
+	prevLe float64
+	inf    bool
+	count  float64
+	hasCnt bool
+	infVal float64
+}
+
+// Lint reads an exposition and returns the first violation found (nil
+// for a clean document).
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	families := map[string]*family{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, lineNo, families); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := lintSample(line, lineNo, families); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("promcheck: reading input: %w", err)
+	}
+	for name, f := range families {
+		if f.samples == 0 {
+			return fmt.Errorf("promcheck: family %s declared but has no samples", name)
+		}
+		if f.typ == "histogram" {
+			for ls, st := range f.buckets {
+				if !st.inf {
+					return fmt.Errorf("promcheck: histogram %s%s has no le=\"+Inf\" bucket", name, ls)
+				}
+				if st.hasCnt && st.count != st.infVal {
+					return fmt.Errorf("promcheck: histogram %s%s _count %g != +Inf bucket %g", name, ls, st.count, st.infVal)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// lintComment handles # TYPE and # HELP lines (other comments pass).
+func lintComment(line string, n int, families map[string]*family) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("promcheck: line %d: malformed TYPE line %q", n, line)
+		}
+		name, typ := fields[2], fields[3]
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("promcheck: line %d: invalid metric name %q", n, name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("promcheck: line %d: unknown metric type %q", n, typ)
+		}
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("promcheck: line %d: counter %s should end in _total", n, name)
+		}
+		if _, dup := families[name]; dup {
+			return fmt.Errorf("promcheck: line %d: duplicate TYPE for %s", n, name)
+		}
+		families[name] = &family{typ: typ, buckets: map[string]*bucketState{}}
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("promcheck: line %d: malformed HELP line %q", n, line)
+		}
+		if !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("promcheck: line %d: invalid metric name %q", n, fields[2])
+		}
+	}
+	return nil
+}
+
+// lintSample validates one sample line against its declared family.
+func lintSample(line string, n int, families map[string]*family) error {
+	m := sampleRe.FindStringSubmatch(line)
+	if m == nil {
+		return fmt.Errorf("promcheck: line %d: unparseable sample %q", n, line)
+	}
+	name, labelBlock, valueStr := m[1], m[2], m[3]
+	value, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil && valueStr != "+Inf" && valueStr != "-Inf" && valueStr != "NaN" {
+		return fmt.Errorf("promcheck: line %d: bad sample value %q", n, valueStr)
+	}
+
+	le, leOK, otherLabels, err := lintLabels(labelBlock, n)
+	if err != nil {
+		return err
+	}
+
+	fam, base := resolveFamily(name, families)
+	if fam == nil {
+		return fmt.Errorf("promcheck: line %d: sample %s has no preceding # TYPE", n, name)
+	}
+	fam.samples++
+	if fam.typ != "histogram" && fam.typ != "summary" {
+		if leOK {
+			return fmt.Errorf("promcheck: line %d: %s metric %s carries an le label", n, fam.typ, name)
+		}
+		return nil
+	}
+
+	// Histogram series bookkeeping, per non-le label set.
+	st, ok := fam.buckets[otherLabels]
+	if !ok {
+		st = &bucketState{prevLe: -1e308}
+		fam.buckets[otherLabels] = st
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if !leOK {
+			return fmt.Errorf("promcheck: line %d: histogram bucket %s missing le label", n, name)
+		}
+		if le == "+Inf" {
+			st.inf = true
+			st.infVal = value
+			if value < st.prev {
+				return fmt.Errorf("promcheck: line %d: histogram %s +Inf bucket %g below previous bucket %g", n, base, value, st.prev)
+			}
+			return nil
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("promcheck: line %d: bad le value %q", n, le)
+		}
+		if st.inf {
+			return fmt.Errorf("promcheck: line %d: histogram %s bucket after le=\"+Inf\"", n, base)
+		}
+		if bound <= st.prevLe {
+			return fmt.Errorf("promcheck: line %d: histogram %s le bounds not increasing (%g after %g)", n, base, bound, st.prevLe)
+		}
+		if value < st.prev {
+			return fmt.Errorf("promcheck: line %d: histogram %s buckets not cumulative (%g after %g)", n, base, value, st.prev)
+		}
+		st.prev, st.prevLe = value, bound
+	case strings.HasSuffix(name, "_count"):
+		st.count, st.hasCnt = value, true
+	case strings.HasSuffix(name, "_sum"):
+		// Any float is fine.
+	default:
+		return fmt.Errorf("promcheck: line %d: histogram family %s has non-histogram sample %s", n, base, name)
+	}
+	return nil
+}
+
+// lintLabels validates a {..} block, returning the le value (if any)
+// and the remaining labels in source order (the histogram series key).
+func lintLabels(block string, n int) (le string, leOK bool, others string, err error) {
+	if block == "" {
+		return "", false, "", nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return "", false, "", nil
+	}
+	var rest []string
+	for _, part := range splitLabels(inner) {
+		m := labelRe.FindStringSubmatch(part)
+		if m == nil {
+			return "", false, "", fmt.Errorf("promcheck: line %d: malformed label %q", n, part)
+		}
+		if !labelNameRe.MatchString(m[1]) {
+			return "", false, "", fmt.Errorf("promcheck: line %d: invalid label name %q", n, m[1])
+		}
+		if m[1] == "le" {
+			le, leOK = m[2], true
+			continue
+		}
+		rest = append(rest, part)
+	}
+	if len(rest) == 0 {
+		// Normalize: a histogram's bucket lines (le only) and its
+		// _sum/_count lines (no labels) must share one series key.
+		return le, leOK, "", nil
+	}
+	return le, leOK, "{" + strings.Join(rest, ",") + "}", nil
+}
+
+// splitLabels splits "a=\"x\",b=\"y\"" on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	start, inQuote, escaped := 0, false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// resolveFamily maps a sample name to its declared family, stripping
+// histogram suffixes when the base name is a histogram.
+func resolveFamily(name string, families map[string]*family) (*family, string) {
+	if f, ok := families[name]; ok {
+		return f, name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f, ok := families[base]; ok && (f.typ == "histogram" || f.typ == "summary") {
+				return f, base
+			}
+		}
+	}
+	return nil, name
+}

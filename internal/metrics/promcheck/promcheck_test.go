@@ -1,0 +1,79 @@
+package promcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(s string) error {
+	return Lint(strings.NewReader(s))
+}
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	doc := `# TYPE ladder_writes_total counter
+ladder_writes_total{run="x"} 42
+# TYPE ladder_queue gauge
+ladder_queue 3
+# TYPE ladder_lat histogram
+ladder_lat_bucket{le="10"} 1
+ladder_lat_bucket{le="100"} 3
+ladder_lat_bucket{le="+Inf"} 4
+ladder_lat_sum 210
+ladder_lat_count 4
+`
+	if err := lint(doc); err != nil {
+		t.Fatalf("well-formed exposition rejected: %v", err)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"sample without TYPE",
+			"ladder_x_total 1\n", "no preceding # TYPE"},
+		{"counter without _total",
+			"# TYPE ladder_x counter\nladder_x 1\n", "should end in _total"},
+		{"bad metric name",
+			"# TYPE 9bad_total counter\n9bad_total 1\n", "invalid metric name"},
+		{"bad value",
+			"# TYPE ladder_x_total counter\nladder_x_total oops\n", "bad sample value"},
+		{"non-cumulative buckets",
+			"# TYPE ladder_h histogram\nladder_h_bucket{le=\"1\"} 5\nladder_h_bucket{le=\"2\"} 3\nladder_h_bucket{le=\"+Inf\"} 5\nladder_h_count 5\n",
+			"not cumulative"},
+		{"missing +Inf",
+			"# TYPE ladder_h histogram\nladder_h_bucket{le=\"1\"} 5\nladder_h_count 5\n",
+			`no le="+Inf"`},
+		{"count mismatch",
+			"# TYPE ladder_h histogram\nladder_h_bucket{le=\"+Inf\"} 5\nladder_h_count 4\n",
+			"_count 4 != +Inf bucket 5"},
+		{"le on a counter",
+			"# TYPE ladder_x_total counter\nladder_x_total{le=\"1\"} 1\n", "carries an le label"},
+		{"declared but empty",
+			"# TYPE ladder_x_total counter\n", "has no samples"},
+		{"duplicate TYPE",
+			"# TYPE ladder_x_total counter\nladder_x_total 1\n# TYPE ladder_x_total counter\n",
+			"duplicate TYPE"},
+		{"malformed label",
+			"# TYPE ladder_x_total counter\nladder_x_total{run=x} 1\n", "malformed label"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := lint(c.doc)
+			if err == nil {
+				t.Fatalf("lint accepted:\n%s", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestLintEscapedLabelValues(t *testing.T) {
+	doc := "# TYPE ladder_x_total counter\n" +
+		`ladder_x_total{job="a\"b\\c\nd",run="y"} 1` + "\n"
+	if err := lint(doc); err != nil {
+		t.Fatalf("escaped label value rejected: %v", err)
+	}
+}

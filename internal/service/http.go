@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
+
+	"ladder/internal/metrics"
 )
 
 // routes builds the API mux. Patterns use Go 1.22 method matching, so a
@@ -19,6 +22,7 @@ func (s *Service) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics/prom", s.handleProm)
 }
 
 // writeJSON emits one API response document.
@@ -184,6 +188,15 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if ch == nil { // already terminal: the current event was the last
 		return
 	}
+	// Keepalive comments hold the connection open through idle stretches
+	// (a queued job can sit silent for minutes; proxies reap quiet
+	// streams). Comment frames are invisible to EventSource clients.
+	var keep <-chan time.Time
+	if s.cfg.SSEKeepalive > 0 {
+		t := time.NewTicker(s.cfg.SSEKeepalive)
+		defer t.Stop()
+		keep = t.C
+	}
 	for {
 		select {
 		case <-r.Context().Done():
@@ -193,6 +206,11 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			send(ev)
+		case <-keep:
+			fmt.Fprint(w, ": keepalive\n\n")
+			if canFlush {
+				fl.Flush()
+			}
 		}
 	}
 }
@@ -206,4 +224,43 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleProm implements GET /metrics/prom: the service's registry in
+// the Prometheus text exposition format, plus one labeled progress
+// series per retained job (the job ID is the label, so a scraper can
+// chart each sweep's cell completion individually).
+func (s *Service) handleProm(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.reg.Gauge("service.queue.depth").Observe(float64(len(s.queue)))
+	s.reg.Gauge("service.jobs.running").Observe(float64(s.running))
+	snap := s.reg.Snapshot()
+	var extra []metrics.PromSample
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		extra = append(extra,
+			metrics.PromSample{
+				Name: "service.job.cells_done", Type: "gauge",
+				Help:  "grid cells completed, by job ID",
+				Value: float64(j.done),
+				Labels: []metrics.PromLabel{
+					{Name: "job", Value: id}, {Name: "state", Value: j.state},
+				},
+			},
+			metrics.PromSample{
+				Name: "service.job.cells", Type: "gauge",
+				Help:  "grid cells total, by job ID",
+				Value: float64(j.total),
+				Labels: []metrics.PromLabel{
+					{Name: "job", Value: id}, {Name: "state", Value: j.state},
+				},
+			})
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	//nolint:errcheck // best-effort response body
+	metrics.WritePrometheus(w, snap, nil, extra...)
 }

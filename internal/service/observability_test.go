@@ -1,0 +1,173 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ladder/internal/logging"
+	"ladder/internal/metrics/promcheck"
+)
+
+// TestSSEKeepalive pins the fix for silent event streams: a queued job
+// emits no progress events, but the stream must still carry comment
+// frames so proxies don't reap the idle connection.
+func TestSSEKeepalive(t *testing.T) {
+	_, ts := newIdleService(t, Config{SSEKeepalive: 20 * time.Millisecond})
+	_, sub := postJob(t, ts.URL, `{"workloads":["astar"],"schemes":["Baseline"]}`)
+
+	resp, err := http.Get(ts.URL + "/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	// The job never runs (idle service), so after the initial status
+	// event every subsequent frame is a keepalive comment.
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.AfterFunc(5*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	sawStatus, sawKeepalive := false, false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			sawStatus = true
+		case line == ": keepalive":
+			sawKeepalive = true
+		}
+		if sawStatus && sawKeepalive {
+			return
+		}
+	}
+	t.Fatalf("stream ended without keepalive (status=%v keepalive=%v): %v", sawStatus, sawKeepalive, sc.Err())
+}
+
+// TestPromEndpoint scrapes /metrics/prom after a full job lifecycle:
+// the output must lint as exposition format 0.0.4 and carry both the
+// registry counters and the per-job labeled progress series.
+func TestPromEndpoint(t *testing.T) {
+	_, ts := newTestService(t, Config{})
+	_, sub := postJob(t, ts.URL, `{"workloads":["astar"],"schemes":["Baseline"],"instr":2000,"seed":7}`)
+
+	var st Status
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/jobs/"+sub.ID, &st)
+		if st.State == StateDone {
+			break
+		}
+		if st.State == StateFailed || st.State == StateCanceled {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatalf("GET /metrics/prom: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want exposition format 0.0.4", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	if err := promcheck.Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition failed lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"ladder_service_jobs_submitted_total 1",
+		"ladder_service_jobs_completed_total 1",
+		`ladder_service_job_cells{job="` + sub.ID + `",state="done"} 1`,
+		`ladder_service_job_cells_done{job="` + sub.ID + `",state="done"} 1`,
+		"ladder_service_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the service logs from its
+// executor goroutine while the test reads from the main one.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestJobLifecycleLogging asserts structured records at each job state
+// transition: queued, started, finished — each carrying the job ID.
+func TestJobLifecycleLogging(t *testing.T) {
+	var buf syncBuffer
+	lg, err := logging.New(logging.FormatJSON, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestService(t, Config{Logger: lg})
+	_, sub := postJob(t, ts.URL, `{"workloads":["astar"],"schemes":["Baseline"],"instr":2000,"seed":7}`)
+
+	var st Status
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/jobs/"+sub.ID, &st)
+		if st.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	want := map[string]bool{"job queued": false, "job started": false, "job finished": false}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec struct {
+			Msg string `json:"msg"`
+			Job string `json:"job"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log record %q: %v", line, err)
+		}
+		if _, ok := want[rec.Msg]; ok {
+			if rec.Job != sub.ID {
+				t.Errorf("record %q has job=%q, want %q", rec.Msg, rec.Job, sub.ID)
+			}
+			want[rec.Msg] = true
+		}
+	}
+	for msg, seen := range want {
+		if !seen {
+			t.Errorf("no %q record logged:\n%s", msg, buf.String())
+		}
+	}
+}

@@ -39,10 +39,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
+	"ladder/internal/logging"
 	"ladder/internal/metrics"
 	"ladder/internal/sim"
 	"ladder/internal/timing"
@@ -80,6 +82,14 @@ type Config struct {
 	// (nil = the full default 512×512 set). Primarily a test seam: the
 	// default set takes tens of seconds to generate cold.
 	Tables *timing.TableSet
+	// SSEKeepalive is the comment-frame cadence on idle event streams —
+	// proxies reap silent connections, so a queued job's subscribers get
+	// ": keepalive" comments while nothing happens. 0 = 15s; negative
+	// disables keepalives (test seam).
+	SSEKeepalive time.Duration
+	// Logger receives job-lifecycle records (submitted, started,
+	// finished). Nil discards them; serve mode wires a JSON logger.
+	Logger *slog.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -91,6 +101,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxInstr == 0 {
 		c.MaxInstr = 10_000_000
+	}
+	if c.SSEKeepalive == 0 {
+		c.SSEKeepalive = 15 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = logging.Discard()
 	}
 }
 
@@ -159,7 +175,7 @@ func (s *Service) Handler() http.Handler { return s.mux }
 // Routes lists the top-level patterns Handler serves, for mounting the
 // service onto a shared mux (introspect.Server.Handle).
 func (s *Service) Routes() []string {
-	return []string{"/jobs", "/jobs/", "/stats", "/healthz"}
+	return []string{"/jobs", "/jobs/", "/stats", "/healthz", "/metrics/prom"}
 }
 
 // Close stops the executor and cancels any running job. Queued jobs are
@@ -274,6 +290,7 @@ func (s *Service) submit(req Request) (*job, submitOutcome) {
 	s.order = append(s.order, id)
 	s.reg.Counter("service.jobs.submitted").Inc()
 	s.reg.Gauge("service.queue.depth").Observe(float64(len(s.queue)))
+	s.cfg.Logger.Info("job queued", "job", id, "queue_depth", len(s.queue))
 	return j, outcomeNew
 }
 
@@ -350,6 +367,7 @@ func (s *Service) runJob(j *job) {
 	s.reg.Gauge("service.jobs.running").Observe(1)
 	s.broadcastLocked(j)
 	s.mu.Unlock()
+	s.cfg.Logger.Info("job started", "job", j.id, "cells", j.total)
 
 	opts.Jobs = s.cfg.Jobs
 	opts.Tables = s.cfg.Tables
@@ -403,6 +421,13 @@ func (s *Service) finishLocked(j *job, state, errMsg string, report []byte) {
 		s.reg.Counter("service.jobs.failed").Inc()
 	case StateCanceled:
 		s.reg.Counter("service.jobs.canceled").Inc()
+	}
+	if errMsg != "" {
+		s.cfg.Logger.Info("job finished", "job", j.id, "state", state,
+			"elapsed", j.finished.Sub(j.submitted), "error", errMsg)
+	} else {
+		s.cfg.Logger.Info("job finished", "job", j.id, "state", state,
+			"elapsed", j.finished.Sub(j.submitted))
 	}
 	s.broadcastLocked(j)
 	for _, ch := range j.subs {

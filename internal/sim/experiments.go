@@ -59,6 +59,11 @@ type Options struct {
 	// on accesses to spare-remapped rows (0 = default 2 ns, negative =
 	// free; see sim.Config).
 	RemapPenaltyNs float64
+	// TimelineInterval and TimelineCapacity forward the timeline sampler
+	// configuration to every cell (see Config.TimelineInterval); the grid
+	// report merges the per-cell series into one grid-level timeline.
+	TimelineInterval uint64
+	TimelineCapacity int
 }
 
 // GridProgress reports one finished cell of a running experiment grid.
@@ -84,15 +89,17 @@ func (o Options) workloads() []string {
 
 func (o Options) config(workload, scheme string) Config {
 	return Config{
-		Workload:       workload,
-		Scheme:         scheme,
-		InstrPerCore:   o.Instr,
-		Seed:           o.Seed,
-		Tables:         o.Tables,
-		FaultSeed:      o.FaultSeed,
-		RetryMax:       o.RetryMax,
-		SpareRows:      o.SpareRows,
-		RemapPenaltyNs: o.RemapPenaltyNs,
+		Workload:         workload,
+		Scheme:           scheme,
+		InstrPerCore:     o.Instr,
+		Seed:             o.Seed,
+		Tables:           o.Tables,
+		FaultSeed:        o.FaultSeed,
+		RetryMax:         o.RetryMax,
+		SpareRows:        o.SpareRows,
+		RemapPenaltyNs:   o.RemapPenaltyNs,
+		TimelineInterval: o.TimelineInterval,
+		TimelineCapacity: o.TimelineCapacity,
 	}
 }
 

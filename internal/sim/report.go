@@ -9,6 +9,7 @@ import (
 	"ladder/internal/fault"
 	"ladder/internal/metrics"
 	"ladder/internal/remap"
+	"ladder/internal/timeline"
 	"ladder/internal/tracing"
 )
 
@@ -93,6 +94,12 @@ type Report struct {
 	// Present only on runs where the decoder is built (wear leveling,
 	// fault injection, or proactive retirement enabled).
 	Remap *remap.Stats `json:"remap,omitempty"`
+
+	// Timeline is the per-epoch series (docs/TIMELINE.md, schema
+	// "ladder.timeline/v1"); present only on runs with
+	// Config.TimelineInterval > 0. It carries no host-timing fields, so
+	// StripVolatile leaves it untouched.
+	Timeline *timeline.Timeline `json:"timeline,omitempty"`
 }
 
 // FaultSummary is the report's fault-injection section: the injector's
@@ -140,6 +147,7 @@ func NewReport(res *Result) *Report {
 		st := *res.Remap
 		r.Remap = &st
 	}
+	r.Timeline = res.Timeline
 	return r
 }
 
@@ -230,6 +238,17 @@ func (r *Report) PerfSnapshot() map[string]float64 {
 	return m
 }
 
+// BenchProvenance records where a perf snapshot was measured: the Go
+// toolchain, the parallelism it ran under, and an optional free-form
+// label (e.g. the CI runner class). Comparing snapshots from different
+// provenances is comparing different machines — the ratchet prints it so
+// regressions can be triaged against environment drift.
+type BenchProvenance struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Label      string `json:"label,omitempty"`
+}
+
 // BenchReport is the BENCH_*.json document: a named perf snapshot.
 type BenchReport struct {
 	Schema   string             `json:"schema"`
@@ -237,6 +256,9 @@ type BenchReport struct {
 	Workload string             `json:"workload"`
 	Scheme   string             `json:"scheme"`
 	Metrics  map[string]float64 `json:"metrics"`
+	// Provenance stamps the measurement environment; absent on snapshots
+	// taken before it existed.
+	Provenance *BenchProvenance `json:"provenance,omitempty"`
 }
 
 // Bench derives the BENCH_*.json document from the report.
@@ -313,6 +335,10 @@ type GridReport struct {
 	Schemes   []string         `json:"schemes"`
 	Cells     []GridCell       `json:"cells"`
 	Metrics   metrics.Snapshot `json:"metrics"`
+	// Timeline is the union of every cell's per-epoch series (deltas add
+	// across cells, epochs aligned by index; see timeline.Merge). Present
+	// only when the grid ran with Options.TimelineInterval > 0.
+	Timeline *timeline.Timeline `json:"timeline,omitempty"`
 }
 
 // MergedMetrics folds every cell's registry into one snapshot. All cells
@@ -353,6 +379,12 @@ func NewGridReport(g *Grid) (*GridReport, error) {
 			res := g.Results[w][s]
 			if res == nil {
 				continue
+			}
+			if res.Timeline != nil {
+				gr.Timeline, err = timeline.Merge(gr.Timeline, res.Timeline)
+				if err != nil {
+					return nil, fmt.Errorf("sim: merging %s/%s timeline: %w", w, s, err)
+				}
 			}
 			snap := res.Metrics.Snapshot()
 			gr.Cells = append(gr.Cells, GridCell{

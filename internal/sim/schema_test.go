@@ -18,10 +18,12 @@ var updateGolden = flag.Bool("update", false, "rewrite the schema golden fixture
 // to a single "*" child so the fixture pins document structure, not the
 // instrument catalog.
 var collapsedMaps = map[string]bool{
-	"metrics.counters":   true,
-	"metrics.gauges":     true,
-	"metrics.histograms": true,
-	"metrics.grids":      true,
+	"metrics.counters":            true,
+	"metrics.gauges":              true,
+	"metrics.histograms":          true,
+	"metrics.grids":               true,
+	"timeline.epochs[].counters":  true,
+	"timeline.epochs[].quantiles": true,
 }
 
 // schemaPaths walks a decoded JSON document and records every key path,
@@ -115,6 +117,7 @@ func checkSchema(t *testing.T, fixture string, doc []byte) {
 func TestReportSchemaGolden(t *testing.T) {
 	cfg := testConfig(t, "lbm", SchemeHybrid)
 	cfg.TraceSample = 1
+	cfg.TimelineInterval = 20_000
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +133,8 @@ func TestReportSchemaGolden(t *testing.T) {
 func TestGridReportSchemaGolden(t *testing.T) {
 	grid, err := RunGrid(Options{
 		Instr: 10_000, Seed: 7, Tables: smallTables(t),
-		Workloads: []string{"astar"},
+		Workloads:        []string{"astar"},
+		TimelineInterval: 10_000,
 	}, []string{SchemeBaseline})
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,7 @@ import (
 	"ladder/internal/metrics"
 	"ladder/internal/remap"
 	"ladder/internal/reram"
+	"ladder/internal/timeline"
 	"ladder/internal/timing"
 	"ladder/internal/tracing"
 )
@@ -198,6 +199,21 @@ type Config struct {
 	// triggered proactive remapping through the address decoder,
 	// best-effort when the pool empties. Used by the lifetime sweep.
 	ProactiveWearLimit uint64
+	// TimelineInterval enables the timeline epoch sampler: every
+	// TimelineInterval simulated cycles the run's registry and headline
+	// scalars are diffed into a per-epoch record (see package timeline
+	// and docs/TIMELINE.md). 0 — the default — disables sampling and
+	// keeps runs cycle-identical to a build without the sampler; enabling
+	// it is observer-only and must not perturb simulated cycles either
+	// (pinned by the golden determinism tests).
+	TimelineInterval uint64
+	// TimelineCapacity bounds retained epochs (0 = timeline.DefaultCapacity).
+	// Reaching it merges adjacent epochs and doubles the effective width.
+	TimelineCapacity int
+	// TimelineOnEpoch, when set, receives each epoch as it closes — the
+	// live-streaming hook behind the introspection server's /timeline
+	// feed. Runs on the simulation goroutine, like Progress.
+	TimelineOnEpoch func(timeline.Epoch) `json:"-"`
 }
 
 func (c *Config) applyDefaults() error {
@@ -292,6 +308,10 @@ type Result struct {
 	// remaps, lookups, penalty ticks), non-nil whenever the decoder was
 	// active — wear leveling, fault injection or proactive retirement.
 	Remap *remap.Stats
+	// Timeline is the run's per-epoch series, non-nil only when
+	// Config.TimelineInterval > 0. Its per-epoch deltas sum exactly to
+	// the end-of-run aggregates (pinned by TestTimelineDeltasSumToAggregates).
+	Timeline *timeline.Timeline
 }
 
 // subtractStats returns after-minus-before for the additive counters used

@@ -16,6 +16,7 @@ import (
 	"ladder/internal/metrics"
 	"ladder/internal/remap"
 	"ladder/internal/reram"
+	"ladder/internal/timeline"
 	"ladder/internal/timing"
 	"ladder/internal/trace"
 	"ladder/internal/tracing"
@@ -61,6 +62,10 @@ type System struct {
 	eng      *engine.Engine
 	clock    *engine.Clock
 	coreActs []*coreActor
+	// sampler is the timeline epoch sampler, nil unless TimelineInterval
+	// > 0. Driven by the engine's observer hook; strictly read-only
+	// against simulation state.
+	sampler *timeline.Sampler
 
 	running      int
 	crashPending bool
@@ -351,6 +356,49 @@ func (s *System) buildEngine() {
 		}
 		s.eng.SetProgress(every, p)
 	}
+	if s.cfg.TimelineInterval > 0 {
+		s.sampler = timeline.NewSampler(timeline.Config{
+			Interval: s.cfg.TimelineInterval,
+			Capacity: s.cfg.TimelineCapacity,
+			Registry: s.reg,
+			Probe:    s.timelineScalars,
+			OnEpoch:  s.cfg.TimelineOnEpoch,
+		})
+		s.eng.SetObserver(s.cfg.TimelineInterval, s.sampler.Sample)
+	}
+}
+
+// timelineScalars is the sampler's probe: the run's live cumulative
+// headline quantities at an epoch boundary. Cores catch up their skipped
+// cycles first (idempotent, same as crashActor.total) so the retirement
+// count matches what the classic loop would have seen at the top of this
+// cycle; everything else is plain accounting reads.
+func (s *System) timelineScalars() timeline.Scalars {
+	now := s.clock.Now()
+	sc := timeline.Scalars{
+		StoreWrites: s.store.TotalWrites(),
+		ReadNJ:      s.meter.ReadNJ,
+		WriteNJ:     s.meter.WriteNJ,
+		ReadQueue:   make([]int, len(s.ctrls)),
+		WriteQueue:  make([]int, len(s.ctrls)),
+	}
+	for i, c := range s.cores {
+		s.coreActs[i].catchUp(now)
+		sc.Instructions += c.Retired()
+	}
+	for ch, c := range s.ctrls {
+		sc.ReadQueue[ch] = c.ReadQueueLen()
+		sc.WriteQueue[ch] = c.WriteQueueLen()
+	}
+	if s.inj != nil {
+		sc.Retries = s.inj.Stats().Retries
+	}
+	if s.dec != nil {
+		st := s.dec.Stats()
+		sc.GapMoves = st.GapMoves
+		sc.SpareRemaps = st.SpareRemaps
+	}
+	return sc
 }
 
 // progressHook resolves the periodic-progress callback: an explicit
@@ -579,6 +627,11 @@ func (s *System) collect() (*Result, error) {
 	res.WallClock = time.Since(s.started)
 	res.Metrics = s.reg
 	res.Trace = s.tr
+	// Close the trailing partial epoch (drain-phase activity included)
+	// BEFORE exportRunMetrics: the export overwrites registry counters
+	// with end-of-run absolutes, which must never appear as epoch deltas.
+	s.sampler.Finalize(s.clock.Now())
+	res.Timeline = s.sampler.Timeline()
 	exportRunMetrics(s.reg, res, s.cfg.Geom, s.store, s.schemes)
 	return res, nil
 }

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"testing"
+
+	"ladder/internal/timeline"
+)
+
+// TestTimelineDeltasSumToAggregates is the timeline's accounting proof:
+// on a run exercising every headline source (fault injection for
+// retries, wear leveling for gap moves), the per-epoch deltas sum
+// exactly to the end-of-run aggregates, and so does every named counter
+// the epochs carry.
+func TestTimelineDeltasSumToAggregates(t *testing.T) {
+	cfg := testConfig(t, "lbm", SchemeHybrid)
+	cfg.TimelineInterval = 10_000
+	cfg.WearLeveling = true
+	cfg.FaultRate = 0.02
+	cfg.FaultSeed = 7
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Timeline
+	if tl == nil {
+		t.Fatal("timeline enabled but Result.Timeline is nil")
+	}
+	if len(tl.Epochs) < 2 {
+		t.Fatalf("only %d epochs; the run should span several intervals", len(tl.Epochs))
+	}
+
+	var instr, writes, retries, gaps, remaps uint64
+	var readNJ, writeNJ float64
+	counters := map[string]uint64{}
+	for _, e := range tl.Epochs {
+		instr += e.Instructions
+		writes += e.StoreWrites
+		retries += e.Retries
+		gaps += e.GapMoves
+		remaps += e.SpareRemaps
+		readNJ += e.ReadNJ
+		writeNJ += e.WriteNJ
+		for name, d := range e.Counters {
+			counters[name] += d
+		}
+	}
+	if instr != res.InstructionsRetired {
+		t.Errorf("epoch instructions sum to %d, run retired %d", instr, res.InstructionsRetired)
+	}
+	if writes != res.TotalStoreWrites {
+		t.Errorf("epoch store writes sum to %d, store counted %d", writes, res.TotalStoreWrites)
+	}
+	if res.Faults == nil {
+		t.Fatal("fault injection enabled but Result.Faults is nil")
+	}
+	if retries != res.Faults.Retries {
+		t.Errorf("epoch retries sum to %d, injector counted %d", retries, res.Faults.Retries)
+	}
+	if res.Remap == nil {
+		t.Fatal("decoder active but Result.Remap is nil")
+	}
+	if gaps != res.Remap.GapMoves || remaps != res.Remap.SpareRemaps {
+		t.Errorf("epoch remap sums = %d gap / %d spare, decoder counted %d / %d",
+			gaps, remaps, res.Remap.GapMoves, res.Remap.SpareRemaps)
+	}
+	// Energy accumulates float increments in probe order, and the epochs
+	// sum in the same order, so even the float totals match exactly.
+	if readNJ != res.ReadNJ || writeNJ != res.WriteNJ {
+		t.Errorf("epoch energy sums = %g/%g nJ, meter read %g/%g", readNJ, writeNJ, res.ReadNJ, res.WriteNJ)
+	}
+	// Every counter the epochs name must sum to its end-of-run registry
+	// value. exportRunMetrics's absolute overwrites happen after the
+	// sampler finalizes, so export-only names never appear in epochs and
+	// hot-path names are untouched by the export.
+	final := res.Metrics.Snapshot()
+	if len(counters) == 0 {
+		t.Fatal("no registry counters appeared in any epoch")
+	}
+	for name, sum := range counters {
+		if got := final.Counters[name]; got != sum {
+			t.Errorf("counter %s: epoch deltas sum to %d, final registry has %d", name, sum, got)
+		}
+	}
+}
+
+// TestTimelineObserverNeutral is the golden half of the tentpole
+// contract: enabling the timeline must not perturb simulated cycles.
+// The sampler rides an observer hook whose extra processed cycles are
+// dead ones, so a timeline-on run is cycle-identical to the same run
+// with it off.
+func TestTimelineObserverNeutral(t *testing.T) {
+	base := testConfig(t, "lbm", SchemeHybrid)
+	off, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	// A deliberately awkward interval: boundaries land mid-window, not on
+	// any natural period of the run.
+	on.TimelineInterval = 7_321
+	res, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ko, kn := goldenKey(off), goldenKey(res); ko != kn {
+		t.Errorf("timeline run diverged from the plain run\n off: %s\n  on: %s", ko, kn)
+	}
+	if res.Timeline == nil || len(res.Timeline.Epochs) == 0 {
+		t.Error("timeline-on run produced no epochs")
+	}
+
+	// Same claim under wear leveling + fault injection, where the probe
+	// touches the decoder and injector accounting too.
+	fbase := testConfig(t, "mcf", SchemeEst)
+	fbase.WearLeveling = true
+	fbase.FaultRate = 0.02
+	fbase.FaultSeed = 7
+	foff, err := Run(fbase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fon := fbase
+	fon.TimelineInterval = 7_321
+	fres, err := Run(fon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ko, kn := goldenKey(foff), goldenKey(fres); ko != kn {
+		t.Errorf("fault-run timeline diverged\n off: %s\n  on: %s", ko, kn)
+	}
+}
+
+// TestTimelineCapacityBoundsEpochs pins source decimation end-to-end:
+// a tiny capacity forces repeated widening, the retained epoch count
+// stays bounded, and the sums still reconcile.
+func TestTimelineCapacityBoundsEpochs(t *testing.T) {
+	cfg := testConfig(t, "astar", SchemeBaseline)
+	cfg.TimelineInterval = 2_000
+	cfg.TimelineCapacity = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Timeline
+	if tl == nil {
+		t.Fatal("no timeline")
+	}
+	if len(tl.Epochs) > 4 {
+		t.Errorf("capacity 4 retained %d epochs", len(tl.Epochs))
+	}
+	if tl.EffectiveInterval <= tl.Interval {
+		t.Errorf("effective interval %d never widened past %d over a %d-tick run",
+			tl.EffectiveInterval, tl.Interval, res.Ticks)
+	}
+	var instr uint64
+	for _, e := range tl.Epochs {
+		instr += e.Instructions
+	}
+	if instr != res.InstructionsRetired {
+		t.Errorf("decimated epochs sum to %d instructions, run retired %d", instr, res.InstructionsRetired)
+	}
+}
+
+// TestTimelineOnEpochStreams pins the live hook: every closed epoch
+// reaches Config.TimelineOnEpoch in order, matching the final series
+// when no decimation occurred.
+func TestTimelineOnEpochStreams(t *testing.T) {
+	cfg := testConfig(t, "astar", SchemeBaseline)
+	cfg.TimelineInterval = 10_000
+	var streamed []timeline.Epoch
+	cfg.TimelineOnEpoch = func(e timeline.Epoch) { streamed = append(streamed, e) }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("no epochs streamed")
+	}
+	if len(streamed) != len(res.Timeline.Epochs) {
+		t.Fatalf("streamed %d epochs, final timeline has %d", len(streamed), len(res.Timeline.Epochs))
+	}
+	for i, e := range res.Timeline.Epochs {
+		if streamed[i].Start != e.Start || streamed[i].End != e.End || streamed[i].Instructions != e.Instructions {
+			t.Errorf("streamed epoch %d = [%d,%d) %d instr; final = [%d,%d) %d instr",
+				i, streamed[i].Start, streamed[i].End, streamed[i].Instructions, e.Start, e.End, e.Instructions)
+		}
+	}
+}
+
+// TestGridTimelineMerge pins the grid-level union: cell timelines merge
+// into the grid report, and the merged deltas sum to the cells' totals.
+func TestGridTimelineMerge(t *testing.T) {
+	grid, err := RunGrid(Options{
+		Instr: 10_000, Seed: 7, Tables: smallTables(t),
+		Workloads:        []string{"astar", "lbm"},
+		TimelineInterval: 10_000,
+	}, []string{SchemeBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := NewGridReport(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Timeline == nil || len(gr.Timeline.Epochs) == 0 {
+		t.Fatal("grid report has no merged timeline")
+	}
+	var want uint64
+	for _, w := range grid.Workloads {
+		for _, s := range grid.Schemes {
+			want += grid.Results[w][s].InstructionsRetired
+		}
+	}
+	var got uint64
+	for _, e := range gr.Timeline.Epochs {
+		got += e.Instructions
+	}
+	if got != want {
+		t.Errorf("merged timeline sums to %d instructions, cells retired %d", got, want)
+	}
+}

@@ -1,0 +1,186 @@
+package timeline
+
+import "ladder/internal/metrics"
+
+// Scalars is the probe's view of the run's cumulative headline
+// quantities, read live at an epoch boundary. Everything except the
+// queue depths is a monotone running total; the sampler diffs
+// consecutive probes into per-epoch deltas.
+type Scalars struct {
+	Instructions uint64
+	StoreWrites  uint64
+	Retries      uint64
+	GapMoves     uint64
+	SpareRemaps  uint64
+	ReadNJ       float64
+	WriteNJ      float64
+	// ReadQueue/WriteQueue are instantaneous per-channel depths at the
+	// boundary, recorded as-is.
+	ReadQueue  []int
+	WriteQueue []int
+}
+
+// Config parameterizes a Sampler.
+type Config struct {
+	// Interval is the sampling period in simulated cycles (required).
+	Interval uint64
+	// Capacity bounds the retained epochs (0 = DefaultCapacity, minimum
+	// 2, rounded up to even). Reaching it merges adjacent epoch pairs
+	// and doubles the effective epoch width.
+	Capacity int
+	// Registry is the run's instrument registry; its counters and
+	// histograms are diffed per epoch. May be nil (scalars only).
+	Registry *metrics.Registry
+	// Probe reads the run's live cumulative scalars; called once per
+	// closed epoch, on the simulation goroutine. May be nil.
+	Probe func() Scalars
+	// OnEpoch, when set, receives each epoch as it closes (live
+	// streaming), on the simulation goroutine.
+	OnEpoch func(Epoch)
+}
+
+// Sampler accumulates the per-epoch series. It is driven from the
+// engine's observer hook (Sample) on the single simulation goroutine
+// and is strictly an observer: it reads registry snapshots and probe
+// scalars, never simulation state it could perturb.
+type Sampler struct {
+	cfg      Config
+	capacity int
+	// factor is the decimation factor: epochs close every factor-th
+	// Sample call, so post-decimation epochs widen at the source instead
+	// of being merged after the fact.
+	factor int
+	fires  int
+
+	start    uint64
+	prevSnap metrics.Snapshot
+	prevSc   Scalars
+	epochs   []Epoch
+}
+
+// NewSampler builds a sampler; a zero interval returns nil (disabled).
+func NewSampler(cfg Config) *Sampler {
+	if cfg.Interval == 0 {
+		return nil
+	}
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if capacity < 2 {
+		capacity = 2
+	}
+	if capacity%2 == 1 {
+		capacity++
+	}
+	return &Sampler{cfg: cfg, capacity: capacity, factor: 1}
+}
+
+// Interval returns the configured sampling period (0 on a nil sampler).
+func (s *Sampler) Interval() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cfg.Interval
+}
+
+// Sample is the engine observer callback, invoked at the top of each
+// epoch-boundary cycle. After decimation only every factor-th boundary
+// closes an epoch — intermediate boundaries just count, so widened
+// epochs accumulate at the source with no snapshot cost.
+func (s *Sampler) Sample(now uint64) {
+	if s == nil {
+		return
+	}
+	s.fires++
+	if s.fires < s.factor {
+		return
+	}
+	s.fires = 0
+	s.close(now)
+}
+
+// Finalize closes the trailing partial epoch at the run's final cycle,
+// capturing everything since the last boundary (including drain-phase
+// activity, which happens outside the engine's stepping). Call exactly
+// once, before end-of-run absolute counter exports overwrite the
+// registry. Safe on a nil sampler.
+func (s *Sampler) Finalize(now uint64) {
+	if s == nil || now <= s.start {
+		return
+	}
+	s.fires = 0
+	s.close(now)
+}
+
+// close seals the window [s.start, now) into an epoch.
+func (s *Sampler) close(now uint64) {
+	if now <= s.start {
+		return
+	}
+	snap := s.cfg.Registry.Snapshot()
+	var sc Scalars
+	if s.cfg.Probe != nil {
+		sc = s.cfg.Probe()
+	}
+	ep := Epoch{
+		Start:        s.start,
+		End:          now,
+		Instructions: sc.Instructions - s.prevSc.Instructions,
+		StoreWrites:  sc.StoreWrites - s.prevSc.StoreWrites,
+		Retries:      sc.Retries - s.prevSc.Retries,
+		GapMoves:     sc.GapMoves - s.prevSc.GapMoves,
+		SpareRemaps:  sc.SpareRemaps - s.prevSc.SpareRemaps,
+		ReadNJ:       sc.ReadNJ - s.prevSc.ReadNJ,
+		WriteNJ:      sc.WriteNJ - s.prevSc.WriteNJ,
+		ReadQueue:    append([]int(nil), sc.ReadQueue...),
+		WriteQueue:   append([]int(nil), sc.WriteQueue...),
+	}
+	ep.IPC = float64(ep.Instructions) / float64(now-s.start)
+	for name, v := range snap.Counters {
+		if d := v - s.prevSnap.Counters[name]; d != 0 {
+			if ep.Counters == nil {
+				ep.Counters = make(map[string]uint64)
+			}
+			ep.Counters[name] = d
+		}
+	}
+	for name, h := range snap.Histograms {
+		d, changed := diffHistogram(s.prevSnap.Histograms[name], h)
+		if !changed {
+			continue
+		}
+		if ep.Quantiles == nil {
+			ep.Quantiles = make(map[string]HistStat)
+		}
+		ep.Quantiles[name] = HistStat{Count: d.Count, P50: d.Quantile(0.50), P99: d.Quantile(0.99)}
+	}
+	s.prevSnap, s.prevSc, s.start = snap, sc, now
+	if s.cfg.OnEpoch != nil {
+		s.cfg.OnEpoch(cloneEpoch(ep))
+	}
+	s.epochs = append(s.epochs, ep)
+	if len(s.epochs) >= s.capacity {
+		s.epochs = decimate(s.epochs)
+		s.factor *= 2
+		s.fires = 0
+	}
+}
+
+// Timeline freezes the accumulated series into its serializable form
+// (nil on a nil sampler).
+func (s *Sampler) Timeline() *Timeline {
+	if s == nil {
+		return nil
+	}
+	t := &Timeline{
+		Schema:            Schema,
+		Interval:          s.cfg.Interval,
+		EffectiveInterval: s.cfg.Interval * uint64(s.factor),
+	}
+	t.Epochs = make([]Epoch, len(s.epochs))
+	for i, e := range s.epochs {
+		t.Epochs[i] = cloneEpoch(e)
+	}
+	return t
+}

@@ -34,6 +34,7 @@ import (
 	"ladder/internal/core"
 	"ladder/internal/reram"
 	"ladder/internal/sim"
+	"ladder/internal/timeline"
 	"ladder/internal/timing"
 	"ladder/internal/trace"
 	"ladder/internal/tracing"
@@ -67,6 +68,15 @@ type (
 	LifetimeReport = sim.LifetimeReport
 	// BenchReport is the BENCH_*.json perf-snapshot document.
 	BenchReport = sim.BenchReport
+	// BenchProvenance stamps a BenchReport with the toolchain and host
+	// parallelism it was measured under.
+	BenchProvenance = sim.BenchProvenance
+	// Timeline is a run's simulated-time telemetry: per-epoch metric
+	// deltas recorded every Config.TimelineInterval cycles (see
+	// docs/TIMELINE.md).
+	Timeline = timeline.Timeline
+	// TimelineEpoch is one closed sampling window of a Timeline.
+	TimelineEpoch = timeline.Epoch
 	// ProgressInfo is the periodic run-progress snapshot delivered to
 	// Config.Progress.
 	ProgressInfo = sim.ProgressInfo
