@@ -1,6 +1,9 @@
 package main
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // validateFlags rejects out-of-range numeric flags before a run starts:
 // a bad sampling rate or fault knob should fail fast with a clear
@@ -57,8 +60,9 @@ func flagNs(v float64) float64 {
 }
 
 // validateServeFlags rejects out-of-range service-mode knobs (see
-// docs/SERVICE.md for their semantics).
-func validateServeFlags(jobs, queueDepth, cacheSize int) error {
+// docs/SERVICE.md for their semantics). The timeouts take 0 to disable;
+// negatives would silently behave like an already-expired deadline.
+func validateServeFlags(jobs, queueDepth, cacheSize int, jobTimeout, stallTimeout time.Duration) error {
 	switch {
 	case jobs < 0:
 		return fmt.Errorf("-jobs must be >= 0 (0 = one worker per CPU), got %d", jobs)
@@ -66,6 +70,10 @@ func validateServeFlags(jobs, queueDepth, cacheSize int) error {
 		return fmt.Errorf("-queue-depth must be >= 1, got %d", queueDepth)
 	case cacheSize < 1:
 		return fmt.Errorf("-cache-size must be >= 1, got %d", cacheSize)
+	case jobTimeout < 0:
+		return fmt.Errorf("-job-timeout must be >= 0 (0 disables the deadline), got %v", jobTimeout)
+	case stallTimeout < 0:
+		return fmt.Errorf("-stall-timeout must be >= 0 (0 disables the watchdog), got %v", stallTimeout)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateFlags(t *testing.T) {
@@ -93,18 +94,22 @@ func TestValidateServeFlags(t *testing.T) {
 	cases := []struct {
 		name                        string
 		jobs, queueDepth, cacheSize int
+		jobTimeout, stallTimeout    time.Duration
 		wantErr                     string // empty = valid
 	}{
-		{"defaults", 0, 16, 64, ""},
-		{"explicit jobs", 8, 1, 1, ""},
-		{"negative jobs", -1, 16, 64, "-jobs"},
-		{"zero queue", 0, 0, 64, "-queue-depth"},
-		{"negative queue", 0, -2, 64, "-queue-depth"},
-		{"zero cache", 0, 16, 0, "-cache-size"},
+		{"defaults", 0, 16, 64, 0, 0, ""},
+		{"explicit jobs", 8, 1, 1, 0, 0, ""},
+		{"timeouts on", 0, 16, 64, time.Minute, 10 * time.Second, ""},
+		{"negative jobs", -1, 16, 64, 0, 0, "-jobs"},
+		{"zero queue", 0, 0, 64, 0, 0, "-queue-depth"},
+		{"negative queue", 0, -2, 64, 0, 0, "-queue-depth"},
+		{"zero cache", 0, 16, 0, 0, 0, "-cache-size"},
+		{"negative job timeout", 0, 16, 64, -time.Second, 0, "-job-timeout"},
+		{"negative stall timeout", 0, 16, 64, 0, -time.Second, "-stall-timeout"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateServeFlags(c.jobs, c.queueDepth, c.cacheSize)
+			err := validateServeFlags(c.jobs, c.queueDepth, c.cacheSize, c.jobTimeout, c.stallTimeout)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -66,6 +66,10 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 16, "pending-job bound in -serve mode; a full queue rejects submissions with 503")
 		cacheSize  = flag.Int("cache-size", 64, "completed jobs retained (LRU) in -serve mode")
 		maxInstr   = flag.Uint64("max-instr", 10_000_000, "largest per-core instruction budget a -serve request may ask for")
+
+		stateDir     = flag.String("state-dir", "", "persist -serve job state (journal + completed reports, fsync'd) under this directory and recover it on boot; empty = in-memory only (see docs/SERVICE.md)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "wall-clock deadline per -serve job; a job still running at the deadline fails with a structured error (0 disables)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "watchdog stall bound per -serve job: a running job with no progress heartbeat for this long is canceled and fails (0 disables)")
 	)
 	flag.Parse()
 	// Service mode defaults to JSON records (log pipelines); interactive
@@ -87,7 +91,7 @@ func main() {
 		lg.Error("invalid flags", "err", err)
 		os.Exit(2)
 	}
-	if err := validateServeFlags(*jobs, *queueDepth, *cacheSize); err != nil {
+	if err := validateServeFlags(*jobs, *queueDepth, *cacheSize, *jobTimeout, *stallTimeout); err != nil {
 		lg.Error("invalid flags", "err", err)
 		os.Exit(2)
 	}
@@ -106,12 +110,15 @@ func main() {
 			addr = ":8080"
 		}
 		os.Exit(runServe(ctx, serveConfig{
-			addr:       addr,
-			jobs:       *jobs,
-			queueDepth: *queueDepth,
-			cacheSize:  *cacheSize,
-			maxInstr:   *maxInstr,
-			logger:     lg,
+			addr:         addr,
+			jobs:         *jobs,
+			queueDepth:   *queueDepth,
+			cacheSize:    *cacheSize,
+			maxInstr:     *maxInstr,
+			stateDir:     *stateDir,
+			jobTimeout:   *jobTimeout,
+			stallTimeout: *stallTimeout,
+			logger:       lg,
 		}))
 	}
 

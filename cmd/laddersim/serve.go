@@ -12,12 +12,15 @@ import (
 
 // serveConfig carries the -serve mode's resolved flags.
 type serveConfig struct {
-	addr       string
-	jobs       int
-	queueDepth int
-	cacheSize  int
-	maxInstr   uint64
-	logger     *slog.Logger
+	addr         string
+	jobs         int
+	queueDepth   int
+	cacheSize    int
+	maxInstr     uint64
+	stateDir     string
+	jobTimeout   time.Duration
+	stallTimeout time.Duration
+	logger       *slog.Logger
 }
 
 // runServe turns the process into the long-running simulation service
@@ -31,13 +34,21 @@ func runServe(ctx context.Context, cfg serveConfig) int {
 		cfg.logger.Error("introspection server failed", "addr", cfg.addr, "err", err)
 		return 1
 	}
-	svc := service.New(service.Config{
-		QueueDepth: cfg.queueDepth,
-		CacheSize:  cfg.cacheSize,
-		Jobs:       cfg.jobs,
-		MaxInstr:   cfg.maxInstr,
-		Logger:     cfg.logger,
+	svc, err := service.New(service.Config{
+		QueueDepth:   cfg.queueDepth,
+		CacheSize:    cfg.cacheSize,
+		Jobs:         cfg.jobs,
+		MaxInstr:     cfg.maxInstr,
+		StateDir:     cfg.stateDir,
+		JobTimeout:   cfg.jobTimeout,
+		StallTimeout: cfg.stallTimeout,
+		Logger:       cfg.logger,
 	})
+	if err != nil {
+		cfg.logger.Error("service failed to start", "state_dir", cfg.stateDir, "err", err)
+		_ = srv.Close()
+		return 1
+	}
 	for _, pattern := range svc.Routes() {
 		srv.Handle(pattern, svc.Handler())
 	}

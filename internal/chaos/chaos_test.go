@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsFreeAndUncounted(t *testing.T) {
+	Reset()
+	if err := Hit("nobody.armed"); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+	if got := Hits("nobody.armed"); got != 0 {
+		t.Fatalf("disarmed hits counted: %d", got)
+	}
+}
+
+func TestArmedErrorAndCounting(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("disk full")
+	Arm("store.append", Action{Err: boom})
+	for i := 0; i < 3; i++ {
+		if err := Hit("store.append"); !errors.Is(err, boom) {
+			t.Fatalf("hit %d = %v, want %v", i, err, boom)
+		}
+	}
+	if got := Hits("store.append"); got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+	Disarm("store.append")
+	if err := Hit("store.append"); err != nil {
+		t.Fatalf("after disarm = %v, want nil", err)
+	}
+}
+
+func TestTimesSelfDisarms(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("transient")
+	Arm("store.append", Action{Err: boom, Times: 2})
+	if err := Hit("store.append"); !errors.Is(err, boom) {
+		t.Fatal("first hit should fail")
+	}
+	if err := Hit("store.append"); !errors.Is(err, boom) {
+		t.Fatal("second hit should fail")
+	}
+	if err := Hit("store.append"); err != nil {
+		t.Fatalf("third hit = %v, want healed (nil)", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("scheme.enqueue", Action{Panic: "injected scheme bug"})
+	defer func() {
+		if r := recover(); r != "injected scheme bug" {
+			t.Fatalf("recover() = %v, want the injected value", r)
+		}
+	}()
+	Hit("scheme.enqueue") //nolint:errcheck // panics
+	t.Fatal("Hit should have panicked")
+}
+
+func TestDelayAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("job.run", Action{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("job.run"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestConcurrentHitsWithArmDisarm(t *testing.T) {
+	Reset()
+	defer Reset()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			Arm("racy", Action{Err: errors.New("x")})
+			Disarm("racy")
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		Hit("racy") //nolint:errcheck // either outcome is valid mid-race
+	}
+	<-done
+}

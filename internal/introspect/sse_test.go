@@ -141,3 +141,109 @@ func TestPromHandlerServesExposition(t *testing.T) {
 		t.Errorf("POST /metrics/prom = %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestBrokerLastEventIDResume pins SSE resume: a client reconnecting
+// with the standard Last-Event-ID header replays exactly the events it
+// missed, in order, before rejoining the live stream.
+func TestBrokerLastEventIDResume(t *testing.T) {
+	srv := newTestServer(t)
+	b := NewBroker(-1)
+	srv.Handle("/timeline/events", b)
+
+	b.Publish([]byte(`{"epoch":1}`))
+	b.Publish([]byte(`{"epoch":2}`))
+	b.Publish([]byte(`{"epoch":3}`))
+
+	req, err := http.NewRequest(http.MethodGet, "http://"+srv.Addr()+"/timeline/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	type frame struct{ id, data string }
+	var frames []frame
+	cur := frame{}
+	for len(frames) < 2 {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended early: %v (got %v)", err, frames)
+		}
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimSpace(strings.TrimPrefix(line, "id: "))
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimSpace(strings.TrimPrefix(line, "data: "))
+			frames = append(frames, cur)
+			cur = frame{}
+		}
+	}
+	want := []frame{{"2", `{"epoch":2}`}, {"3", `{"epoch":3}`}}
+	for i, w := range want {
+		if frames[i] != w {
+			t.Fatalf("replayed frames = %v, want %v", frames, want)
+		}
+	}
+}
+
+// TestBrokerDropsSlowSubscriber pins the backpressure policy: a
+// subscriber that stops draining is dropped (its channel closes, its
+// stream ends) once its buffer fills, and Publish never blocks on it.
+func TestBrokerDropsSlowSubscriber(t *testing.T) {
+	b := NewBroker(-1)
+	ch, _ := b.subscribe(0)
+	if b.Subscribers() != 1 {
+		t.Fatal("subscriber not registered")
+	}
+	// Fill the buffer and one more: the overflow publish must drop the
+	// subscriber rather than block or silently skip forever.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < subBuffer+1; i++ {
+			b.Publish([]byte("x"))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	if n := b.Subscribers(); n != 0 {
+		t.Fatalf("slow subscriber still registered (%d)", n)
+	}
+	// The channel is closed after its buffered backlog: drain to the end.
+	for i := 0; ; i++ {
+		if _, open := <-ch; !open {
+			break
+		}
+		if i > subBuffer {
+			t.Fatal("channel never closed")
+		}
+	}
+	// The events the drop lost are still in the replay ring.
+	if got := b.LastEventID(); got != uint64(subBuffer+1) {
+		t.Fatalf("LastEventID = %d, want %d", got, subBuffer+1)
+	}
+}
+
+// TestBrokerHistoryRingBounded checks replay memory stays bounded: only
+// the newest historySize events are retained for resume.
+func TestBrokerHistoryRingBounded(t *testing.T) {
+	b := NewBroker(-1)
+	for i := 0; i < historySize+10; i++ {
+		b.Publish([]byte("x"))
+	}
+	ch, replay := b.subscribe(0)
+	defer b.unsubscribe(ch)
+	if len(replay) != historySize {
+		t.Fatalf("replay length = %d, want %d", len(replay), historySize)
+	}
+	if first := replay[0].id; first != 11 {
+		t.Fatalf("oldest retained id = %d, want 11", first)
+	}
+}

@@ -1,0 +1,57 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzNormalizeRequest fuzzes the submission path's parse+normalize
+// pipeline the way POST /jobs drives it: arbitrary bytes must never
+// panic, and any request that normalizes successfully must normalize
+// idempotently and content-hash stably (normalization is what makes
+// spelling variants dedupe onto one job ID — a second pass must not
+// move the hash).
+func FuzzNormalizeRequest(f *testing.F) {
+	seeds := []string{
+		`{"workloads":["astar"],"schemes":["Baseline"]}`,
+		`{"workloads":["astar"],"schemes":["ladder-hybrid"],"instr":200000}`,
+		`{"workloads":["astar","lbm"],"schemes":["LADDER-Basic","LADDER-Est"],"seed":7}`,
+		`{"workloads":[],"schemes":[]}`,
+		`{"workloads":["nope"],"schemes":["Baseline"]}`,
+		`{"workloads":["astar"],"schemes":["BASELINE"],"retry_max":-1}`,
+		`{"workloads":["astar"],"schemes":["Baseline"],"instr":18446744073709551615}`,
+		`{"workloads": [`,
+		`null`,
+		`[]`,
+		`{"workloads":["astar"],"schemes":["Baseline"],"bogus":1}`,
+		"{\"workloads\":[\"\\u0000\"],\"schemes\":[\"\\uffff\"]}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return // a reject is fine; a panic is the bug
+		}
+		if err := req.normalize(10_000_000); err != nil {
+			return
+		}
+		id1 := req.id()
+		// Normalization is canonical: running it again must change
+		// neither the request nor its content hash.
+		again := req
+		if err := again.normalize(10_000_000); err != nil {
+			t.Fatalf("normalized request failed re-normalization: %v", err)
+		}
+		if id2 := again.id(); id2 != id1 {
+			t.Fatalf("hash moved across normalizations: %s vs %s", id1, id2)
+		}
+		if id1 == "" || len(id1) != 16 {
+			t.Fatalf("malformed job ID %q", id1)
+		}
+	})
+}

@@ -22,6 +22,7 @@ func (s *Service) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics/prom", s.handleProm)
 }
 
@@ -47,7 +48,8 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // clients can tell a fresh enqueue from a dedup or a cache hit.
 type submitResponse struct {
 	Status
-	// Outcome is "accepted", "deduplicated" or "cached".
+	// Outcome is "accepted", "deduplicated", "cached" or "resubmitted"
+	// (a canceled or crashed job returned to the queue).
 	Outcome string `json:"outcome"`
 }
 
@@ -81,6 +83,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch outcome {
 	case outcomeNew:
 		resp.Outcome = "accepted"
+	case outcomeResubmitted:
+		resp.Outcome = "resubmitted"
 	case outcomeDeduped:
 		resp.Outcome = "deduplicated"
 	case outcomeCached:
@@ -165,9 +169,11 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 // handleEvents implements GET /jobs/{id}/events: a Server-Sent Events
 // stream of Status documents — the current state immediately, then one
 // event per grid-cell completion and state transition, ending with the
-// terminal event. Slow consumers may miss intermediate progress events
-// (the per-subscriber buffer is bounded) but always see the terminal
-// state.
+// terminal event. Every frame carries an "id:" field (the job's event
+// sequence); a client reconnecting with the standard Last-Event-ID
+// header skips the initial frame if it already saw it. Slow consumers
+// may miss intermediate progress events (the per-subscriber buffer is
+// bounded) but always see the terminal state.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ch, cur, ok := s.subscribe(id)
@@ -175,16 +181,32 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
+	var after uint64
+	resuming := false
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		// A malformed ID is treated as absent: the client starts fresh.
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			after, resuming = n, true
+		}
+	}
 	fl, canFlush := w.(http.Flusher)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
-	send := func(ev []byte) {
-		fmt.Fprintf(w, "data: %s\n\n", ev)
+	send := func(ev jobEvent) {
+		fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.id, ev.body)
 		if canFlush {
 			fl.Flush()
 		}
 	}
-	send(cur)
+	if !resuming || cur.id > after {
+		// Fresh clients always get the current snapshot; a resuming client
+		// skips it if its Last-Event-ID shows it already saw this state.
+		send(cur)
+	} else if canFlush {
+		// Nothing new yet: commit the stream headers so the client knows
+		// the resume was accepted.
+		fl.Flush()
+	}
 	if ch == nil { // already terminal: the current event was the last
 		return
 	}
@@ -224,6 +246,38 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// Readiness is the GET /readyz document.
+type Readiness struct {
+	Ready bool `json:"ready"`
+	// Draining is set once Close has begun: the service no longer
+	// accepts submissions.
+	Draining bool `json:"draining,omitempty"`
+	// StoreError carries the durable store's sticky first write failure.
+	// The service keeps serving from memory (liveness is unaffected),
+	// but readiness degrades so orchestrators can rotate the instance.
+	StoreError string `json:"store_error,omitempty"`
+	StateDir   string `json:"state_dir,omitempty"`
+}
+
+// handleReadyz implements GET /readyz: 200 while the service accepts
+// work and its durable store (if configured) is healthy, 503 otherwise.
+// Distinct from /healthz (pure liveness): a service with a broken state
+// disk is alive but not ready.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	doc := Readiness{Draining: s.closed, StateDir: s.store.Dir()}
+	s.mu.Unlock()
+	if err := s.store.Err(); err != nil {
+		doc.StoreError = err.Error()
+	}
+	doc.Ready = !doc.Draining && doc.StoreError == ""
+	code := http.StatusOK
+	if !doc.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, doc)
 }
 
 // handleProm implements GET /metrics/prom: the service's registry in

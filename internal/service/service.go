@@ -21,6 +21,19 @@
 //   - Backpressure. The pending queue is bounded; a submission that
 //     finds it full is rejected with 503 and counted, never silently
 //     dropped or unboundedly buffered.
+//   - Durability. With Config.StateDir set, every job transition lands
+//     in an fsync'd journal and every completed report in a blob store
+//     (see Store). A restarted — or crashed and rebooted — service
+//     replays the journal: completed reports are served byte-identically,
+//     jobs that were queued re-queue, and jobs that died mid-run come
+//     back as failed-by-crash (resubmitting one re-runs it).
+//   - Self-healing. Each job runs under an optional deadline
+//     (Config.JobTimeout) and a watchdog (Config.StallTimeout) that
+//     cancels jobs whose grid stops making progress; a job wedged hard
+//     enough to ignore cancellation is abandoned so the executor moves
+//     on. A panicking scheme fails only its own job — the panic is
+//     caught in the grid worker (sim.PanicError), counted, and reported
+//     in the job's error with its stack.
 //   - Observability. Queue depth, running/deduped/rejected/cache-hit
 //     counts are kept in an internal metrics.Registry (names in
 //     docs/METRICS.md) and exposed through GET /stats and the
@@ -38,12 +51,16 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ladder/internal/chaos"
 	"ladder/internal/logging"
 	"ladder/internal/metrics"
 	"ladder/internal/sim"
@@ -90,7 +107,33 @@ type Config struct {
 	// Logger receives job-lifecycle records (submitted, started,
 	// finished). Nil discards them; serve mode wires a JSON logger.
 	Logger *slog.Logger
+	// StateDir, when set, makes the service durable: job transitions
+	// journal to <StateDir>/journal.jsonl and completed reports persist
+	// as blobs, both fsync'd, and New replays them on boot (see Store).
+	// Empty = in-memory only; nothing survives a restart.
+	StateDir string
+	// JobTimeout bounds any one job's wall-clock execution; a job still
+	// running at the deadline is canceled and fails with a structured
+	// deadline error. 0 = no deadline.
+	JobTimeout time.Duration
+	// StallTimeout arms the per-job watchdog: a running job whose grid
+	// delivers no progress heartbeat (cell completions or periodic
+	// in-cell progress) for this long is canceled with a structured
+	// stall error and counted in service.watchdog.kills. 0 = disabled.
+	StallTimeout time.Duration
 }
+
+// abandonGraceDefault is how long the supervisor waits, after canceling
+// a job, for its grid goroutine to unwind before abandoning it (marking
+// the job failed and letting the executor move on). Cancellation is
+// polled between engine steps, so a healthy grid unwinds in
+// microseconds; only a truly wedged cell hits the grace.
+const abandonGraceDefault = 3 * time.Second
+
+// heartbeatCycles is the per-cell progress cadence (engine cycles)
+// forwarded to the grid when the watchdog is armed, so long-running
+// cells beat well inside any sane StallTimeout.
+const heartbeatCycles = 250_000
 
 func (c *Config) applyDefaults() {
 	if c.QueueDepth == 0 {
@@ -110,6 +153,13 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// jobEvent is one SSE status event with its per-job sequence ID, so a
+// reconnecting subscriber can resume with Last-Event-ID.
+type jobEvent struct {
+	id   uint64
+	body []byte
+}
+
 // job is the service-side record of one submitted configuration.
 type job struct {
 	id    string
@@ -120,17 +170,27 @@ type job struct {
 	errMsg      string
 	report      []byte // marshaled GridReport, state done only
 	dedups      uint64 // submissions that attached to this job
-	cancel      context.CancelFunc
-	subs        []chan []byte // SSE subscribers
-	submitted   time.Time
-	finished    time.Time
+	// crashed marks a failure caused by the process (crash, watchdog
+	// abandonment) rather than the request: resubmitting re-runs it
+	// instead of serving the cached failure.
+	crashed   bool
+	seq       uint64 // SSE event sequence, monotonically increasing
+	cancel    context.CancelFunc
+	subs      []chan jobEvent // SSE subscribers
+	submitted time.Time
+	finished  time.Time
 }
 
 // Service is the job queue. Create with New, mount Handler on a
 // listener (or the introspection server), and Close on shutdown.
 type Service struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	mux   *http.ServeMux
+	store *Store // nil when Config.StateDir is empty (all methods nil-safe)
+	// abandonGrace is how long a canceled-but-unresponsive job may hold
+	// the executor before being abandoned (test seam; defaults to
+	// abandonGraceDefault in New).
+	abandonGrace time.Duration
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -149,22 +209,98 @@ type Service struct {
 	wg      sync.WaitGroup
 }
 
-// New starts a service: the executor goroutine runs until Close.
-func New(cfg Config) *Service {
+// New starts a service: the executor goroutine runs until Close. With
+// Config.StateDir set, the state directory is opened (created if
+// missing) and its journal replayed before the executor starts, so
+// recovered reports are servable and re-queued jobs execute from the
+// first moment the handler is mounted. Opening the state dir is the
+// only failure mode; an in-memory service (empty StateDir) cannot fail.
+func New(cfg Config) (*Service, error) {
 	cfg.applyDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:     cfg,
-		jobs:    make(map[string]*job),
-		queue:   make(chan *job, cfg.QueueDepth),
-		reg:     metrics.NewRegistry(),
-		baseCtx: ctx,
-		stop:    cancel,
+		cfg:          cfg,
+		abandonGrace: abandonGraceDefault,
+		jobs:         make(map[string]*job),
+		queue:        make(chan *job, cfg.QueueDepth),
+		reg:          metrics.NewRegistry(),
+		baseCtx:      ctx,
+		stop:         cancel,
+	}
+	if cfg.StateDir != "" {
+		store, rec, err := OpenStore(cfg.StateDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = store
+		s.restore(rec)
 	}
 	s.routes()
 	s.wg.Add(1)
 	go s.executor()
-	return s
+	return s, nil
+}
+
+// restore installs one boot replay's jobs: terminal jobs enter the
+// completed LRU (oldest journal position evicting first), queued jobs
+// re-enter the pending queue. Runs before the executor starts, so no
+// locking subtleties — but it takes s.mu anyway for finishLocked's
+// invariants.
+func (s *Service) restore(rec *Recovery) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var evicted []string
+	for _, rj := range rec.Jobs {
+		j := &job{
+			id: rj.ID, req: rj.Req, state: StateQueued,
+			crashed: rj.Crashed, submitted: time.Now(),
+		}
+		if rj.State == StateQueued {
+			select {
+			case s.queue <- j:
+			default:
+				// A journal holding more queued jobs than the queue cap
+				// (the cap shrank across the restart): fail the overflow
+				// as crashed so it stays visible and resubmittable.
+				rj.State = StateFailed
+				rj.ErrMsg = "failed by crash: recovered queue overflowed the configured queue depth"
+				j.crashed = true
+				rec.Requeued--
+				rec.FailedByCrash++
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if rj.State != StateQueued {
+			ev := s.finishLocked(j, rj.State, rj.ErrMsg, rj.Report, j.crashed)
+			evicted = append(evicted, ev...)
+			j.finished = time.Time{} // not finished by this process
+		}
+		if rj.State == StateDone {
+			s.reg.Counter("service.recovered.reports").Inc()
+		}
+	}
+	// finishLocked counted the restored terminal states as if this
+	// process produced them; rewind so completed/failed/canceled count
+	// only this boot's work, and track recovery in its own counters.
+	s.reg.SetCounter("service.jobs.completed", 0)
+	s.reg.SetCounter("service.jobs.failed", 0)
+	s.reg.SetCounter("service.jobs.canceled", 0)
+	s.reg.Counter("service.recovered.requeued").Add(uint64(rec.Requeued))
+	s.reg.Counter("service.recovered.failed_by_crash").Add(uint64(rec.FailedByCrash))
+	s.reg.Counter("service.store.corrupt_records").Add(uint64(rec.CorruptRecords))
+	// The store has its own lock and never takes s.mu, so journaling the
+	// evictions here is safe.
+	for _, id := range evicted {
+		s.store.Evicted(id)
+	}
+	if len(rec.Jobs) > 0 || rec.CorruptRecords > 0 {
+		s.cfg.Logger.Info("state recovered",
+			"dir", s.cfg.StateDir, "jobs", len(rec.Jobs),
+			"requeued", rec.Requeued, "failed_by_crash", rec.FailedByCrash,
+			"corrupt_records", rec.CorruptRecords)
+	}
 }
 
 // Handler returns the service's HTTP API (see docs/SERVICE.md): POST
@@ -175,11 +311,13 @@ func (s *Service) Handler() http.Handler { return s.mux }
 // Routes lists the top-level patterns Handler serves, for mounting the
 // service onto a shared mux (introspect.Server.Handle).
 func (s *Service) Routes() []string {
-	return []string{"/jobs", "/jobs/", "/stats", "/healthz", "/metrics/prom"}
+	return []string{"/jobs", "/jobs/", "/stats", "/healthz", "/readyz", "/metrics/prom"}
 }
 
 // Close stops the executor and cancels any running job. Queued jobs are
-// marked canceled. Close blocks until the executor goroutine exits.
+// marked canceled in memory but deliberately NOT journaled as canceled
+// — their accepted records survive, so a durable service re-queues them
+// on the next boot. Close blocks until the executor goroutine exits.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -191,6 +329,7 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+	s.store.Close()
 }
 
 // MetricsSnapshot freezes the service's metrics registry — the
@@ -220,6 +359,20 @@ type Stats struct {
 	Failed     uint64 `json:"failed"`
 	Canceled   uint64 `json:"canceled"`
 	Evictions  uint64 `json:"cache_evictions"`
+	// Robustness and durability counters (0 unless the corresponding
+	// feature is configured/exercised; see docs/METRICS.md).
+	Resubmitted        uint64 `json:"resubmitted"`
+	WatchdogKills      uint64 `json:"watchdog_kills"`
+	DeadlineExceeded   uint64 `json:"deadline_exceeded"`
+	Panics             uint64 `json:"panics"`
+	Abandoned          uint64 `json:"abandoned"`
+	RecoveredReports   uint64 `json:"recovered_reports"`
+	RecoveredRequeued  uint64 `json:"recovered_requeued"`
+	FailedByCrash      uint64 `json:"failed_by_crash"`
+	StoreWriteErrors   uint64 `json:"store_write_errors"`
+	StoreCorruptRecs   uint64 `json:"store_corrupt_records"`
+	StateDir           string `json:"state_dir,omitempty"`
+	DurabilityDegraded bool   `json:"durability_degraded,omitempty"`
 }
 
 // StatsSnapshot builds the GET /stats document. Safe for concurrent use.
@@ -241,6 +394,19 @@ func (s *Service) StatsSnapshot() Stats {
 		Failed:     c("service.jobs.failed"),
 		Canceled:   c("service.jobs.canceled"),
 		Evictions:  c("service.cache.evictions"),
+
+		Resubmitted:        c("service.jobs.resubmitted"),
+		WatchdogKills:      c("service.watchdog.kills"),
+		DeadlineExceeded:   c("service.jobs.deadline_exceeded"),
+		Panics:             c("service.jobs.panics"),
+		Abandoned:          c("service.jobs.abandoned"),
+		RecoveredReports:   c("service.recovered.reports"),
+		RecoveredRequeued:  c("service.recovered.requeued"),
+		FailedByCrash:      c("service.recovered.failed_by_crash"),
+		StoreWriteErrors:   s.store.WriteErrs(),
+		StoreCorruptRecs:   c("service.store.corrupt_records"),
+		StateDir:           s.store.Dir(),
+		DurabilityDegraded: s.store.Err() != nil,
 	}
 }
 
@@ -251,13 +417,18 @@ const (
 	outcomeNew submitOutcome = iota
 	outcomeDeduped
 	outcomeCached
+	outcomeResubmitted
 	outcomeRejected
 	outcomeClosed
 )
 
 // submit resolves a normalized request to a job: a fresh enqueue, an
 // attach to an identical in-flight job, or a cache hit on a completed
-// one. Rejection (full queue, closing service) returns a nil job.
+// one. Canceled and crashed (failed-by-crash, watchdog-abandoned) jobs
+// are retryable: resubmitting one re-enqueues it instead of serving the
+// stale terminal state. Deterministic failures stay cached — the same
+// request would fail the same way. Rejection (full queue, closing
+// service) returns a nil job.
 func (s *Service) submit(req Request) (*job, submitOutcome) {
 	id := req.id()
 	s.mu.Lock()
@@ -266,14 +437,16 @@ func (s *Service) submit(req Request) (*job, submitOutcome) {
 		return nil, outcomeClosed
 	}
 	if j, ok := s.jobs[id]; ok {
-		switch j.state {
-		case StateQueued, StateRunning:
+		switch {
+		case j.state == StateQueued || j.state == StateRunning:
 			j.dedups++
 			s.reg.Counter("service.jobs.deduped").Inc()
 			return j, outcomeDeduped
+		case j.state == StateCanceled || (j.state == StateFailed && j.crashed):
+			return s.resubmitLocked(j)
 		default:
-			// Completed (done/failed/canceled): serve from cache and
-			// refresh its LRU position.
+			// Completed (done, or deterministically failed): serve from
+			// cache and refresh its LRU position.
 			s.reg.Counter("service.cache.hits").Inc()
 			s.touchLocked(id)
 			return j, outcomeCached
@@ -290,8 +463,45 @@ func (s *Service) submit(req Request) (*job, submitOutcome) {
 	s.order = append(s.order, id)
 	s.reg.Counter("service.jobs.submitted").Inc()
 	s.reg.Gauge("service.queue.depth").Observe(float64(len(s.queue)))
+	s.store.Accepted(id, req)
 	s.cfg.Logger.Info("job queued", "job", id, "queue_depth", len(s.queue))
 	return j, outcomeNew
+}
+
+// resubmitLocked returns a canceled or crashed job to the pending
+// queue, resetting its terminal state. The job keeps its identity (and
+// SSE sequence), so watchers attached before the resubmit see the new
+// lifecycle continue. Callers hold s.mu.
+func (s *Service) resubmitLocked(j *job) (*job, submitOutcome) {
+	select {
+	case s.queue <- j:
+	default:
+		s.reg.Counter("service.jobs.rejected").Inc()
+		return nil, outcomeRejected
+	}
+	s.dropLRULocked(j.id)
+	j.state = StateQueued
+	j.errMsg = ""
+	j.report = nil
+	j.done, j.total = 0, 0
+	j.crashed = false
+	j.finished = time.Time{}
+	j.submitted = time.Now()
+	s.reg.Counter("service.jobs.resubmitted").Inc()
+	s.store.Accepted(j.id, j.req)
+	s.cfg.Logger.Info("job resubmitted", "job", j.id, "queue_depth", len(s.queue))
+	return j, outcomeResubmitted
+}
+
+// dropLRULocked removes a completed job from the LRU without evicting
+// it (it is returning to the queue). Callers hold s.mu.
+func (s *Service) dropLRULocked(id string) {
+	for i, v := range s.lru {
+		if v == id {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			return
+		}
+	}
 }
 
 // cancelJob cancels a job by ID. Queued jobs transition directly to
@@ -307,7 +517,14 @@ func (s *Service) cancelJob(id string) (ok bool, reason string) {
 	}
 	switch j.state {
 	case StateQueued:
-		s.finishLocked(j, StateCanceled, "canceled before execution", nil)
+		evicted := s.finishLocked(j, StateCanceled, "canceled before execution", nil, false)
+		// Journal ordering matters (a canceled record must follow the
+		// accepted one and precede any re-accept), so the store calls stay
+		// under s.mu; the store never takes it, so this cannot deadlock.
+		s.store.Canceled(id, "canceled before execution")
+		for _, ev := range evicted {
+			s.store.Evicted(ev)
+		}
 		return true, ""
 	case StateRunning:
 		if j.cancel != nil {
@@ -333,14 +550,20 @@ func (s *Service) executor() {
 	}
 }
 
-// drainOnClose marks every still-queued job canceled after Close.
+// drainOnClose marks every still-queued job canceled after Close. The
+// cancellations are deliberately not journaled: the jobs' accepted
+// records survive in the journal, so a durable service re-queues them
+// on the next boot instead of making clients resubmit.
 func (s *Service) drainOnClose() {
 	for {
 		select {
 		case j := <-s.queue:
 			s.mu.Lock()
 			if j.state == StateQueued {
-				s.finishLocked(j, StateCanceled, "service shut down", nil)
+				evicted := s.finishLocked(j, StateCanceled, "service shut down", nil, false)
+				for _, ev := range evicted {
+					s.store.Evicted(ev)
+				}
 			}
 			s.mu.Unlock()
 		default:
@@ -349,10 +572,36 @@ func (s *Service) drainOnClose() {
 	}
 }
 
-// runJob executes one job's grid and stores the outcome.
+// Structured cancellation causes, attached via context.WithCancelCause
+// so the grid's error chain tells the supervisor (and the client) WHY a
+// job stopped: client cancel, deadline, or watchdog stall.
+var (
+	errClientCancel  = errors.New("canceled by client")
+	errJobDeadline   = errors.New("job deadline exceeded")
+	errWatchdogStall = errors.New("watchdog: job stalled")
+)
+
+// jobOutcome is what the grid goroutine hands back to the supervisor.
+type jobOutcome struct {
+	grid *sim.Grid
+	err  error
+}
+
+// runJob executes one job's grid under the supervisor: an optional
+// wall-clock deadline (Config.JobTimeout), an optional stall watchdog
+// (Config.StallTimeout) fed by the grid's progress heartbeats, and a
+// last-resort abandonment path for jobs that ignore cancellation (a
+// cell wedged inside one engine cycle never reaches the interrupt
+// poll). The grid itself runs in a separate goroutine so the supervisor
+// can keep the executor alive no matter what the job does.
 func (s *Service) runJob(j *job) {
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	defer cancel()
+	ctx, cancelCause := context.WithCancelCause(s.baseCtx)
+	defer cancelCause(nil)
+	if s.cfg.JobTimeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeoutCause(ctx, s.cfg.JobTimeout, errJobDeadline)
+		defer cancelTimeout()
+	}
 
 	s.mu.Lock()
 	if j.state != StateQueued { // canceled while waiting
@@ -360,18 +609,25 @@ func (s *Service) runJob(j *job) {
 		return
 	}
 	j.state = StateRunning
-	j.cancel = cancel
+	j.cancel = func() { cancelCause(errClientCancel) }
 	s.running = 1
 	opts, schemes := j.req.options()
 	j.total = len(opts.Workloads) * len(schemes)
 	s.reg.Gauge("service.jobs.running").Observe(1)
 	s.broadcastLocked(j)
 	s.mu.Unlock()
+	s.store.Started(j.id)
 	s.cfg.Logger.Info("job started", "job", j.id, "cells", j.total)
 
+	// lastBeat is the watchdog's heartbeat: cell completions always beat;
+	// with the watchdog armed, periodic in-cell progress beats too, so a
+	// single long-running cell is not mistaken for a stall.
+	var lastBeat atomic.Int64
+	lastBeat.Store(time.Now().UnixNano())
 	opts.Jobs = s.cfg.Jobs
 	opts.Tables = s.cfg.Tables
 	opts.Progress = func(p sim.GridProgress) {
+		lastBeat.Store(time.Now().UnixNano())
 		// Serialized by the grid's callback mutex; only the fields we
 		// update here are touched concurrently with status reads, and
 		// those reads also hold s.mu.
@@ -380,38 +636,160 @@ func (s *Service) runJob(j *job) {
 		s.broadcastLocked(j)
 		s.mu.Unlock()
 	}
+	if s.cfg.StallTimeout > 0 {
+		opts.ProgressEvery = heartbeatCycles
+		opts.CellProgress = func(_, _ string, _ sim.ProgressInfo) {
+			lastBeat.Store(time.Now().UnixNano())
+		}
+	}
 
-	grid, err := sim.RunGridCtx(ctx, opts, schemes)
+	// The grid goroutine: panic-isolated (the grid isolates its own
+	// workers, but the report marshaling and chaos hooks here deserve the
+	// same cover) and decoupled from the supervisor through a buffered
+	// channel, so an abandoned goroutine's late send never blocks.
+	done := make(chan jobOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- jobOutcome{err: &sim.PanicError{Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		if err := chaos.Hit("service.job.run"); err != nil {
+			done <- jobOutcome{err: err}
+			return
+		}
+		grid, err := sim.RunGridCtx(ctx, opts, schemes)
+		done <- jobOutcome{grid: grid, err: err}
+	}()
+
+	out, abandoned := s.supervise(ctx, j, done, &lastBeat, cancelCause)
+
 	var report []byte
-	if err == nil {
+	err := out.err
+	if !abandoned && err == nil {
 		var gr *sim.GridReport
-		if gr, err = sim.NewGridReport(grid); err == nil {
+		if gr, err = sim.NewGridReport(out.grid); err == nil {
 			report, err = json.MarshalIndent(gr, "", "  ")
 		}
 	}
 
+	state, errMsg, crashed := classify(ctx, err, abandoned, s.cfg.JobTimeout)
 	s.mu.Lock()
 	s.running = 0
 	s.reg.Gauge("service.jobs.running").Observe(0)
 	switch {
-	case err == nil:
-		s.finishLocked(j, StateDone, "", report)
-	case ctx.Err() != nil:
-		s.finishLocked(j, StateCanceled, fmt.Sprintf("canceled: %v", err), nil)
-	default:
-		s.finishLocked(j, StateFailed, err.Error(), nil)
+	case abandoned:
+		s.reg.Counter("service.jobs.abandoned").Inc()
+	case state == StateFailed:
+		var pe *sim.PanicError
+		if errors.As(err, &pe) {
+			s.reg.Counter("service.jobs.panics").Inc()
+		}
+		if errors.Is(context.Cause(ctx), errJobDeadline) {
+			s.reg.Counter("service.jobs.deadline_exceeded").Inc()
+		}
+	}
+	evicted := s.finishLocked(j, state, errMsg, report, crashed)
+	switch state {
+	case StateDone:
+		s.store.Done(j.id, report)
+	case StateFailed:
+		s.store.Failed(j.id, errMsg, crashed)
+	case StateCanceled:
+		s.store.Canceled(j.id, errMsg)
+	}
+	for _, ev := range evicted {
+		s.store.Evicted(ev)
 	}
 	s.mu.Unlock()
 }
 
+// supervise waits for the grid goroutine while enforcing the stall
+// watchdog and the abandonment grace. Returns the grid's outcome, or
+// abandoned=true if the goroutine failed to unwind after cancellation
+// (its eventual result is discarded via the buffered channel).
+func (s *Service) supervise(ctx context.Context, j *job, done <-chan jobOutcome, lastBeat *atomic.Int64, cancelCause context.CancelCauseFunc) (jobOutcome, bool) {
+	var tick <-chan time.Time
+	if s.cfg.StallTimeout > 0 || s.cfg.JobTimeout > 0 {
+		period := s.abandonGrace / 4
+		if s.cfg.StallTimeout > 0 && s.cfg.StallTimeout/4 < period {
+			period = s.cfg.StallTimeout / 4
+		}
+		period = max(period, time.Millisecond)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		tick = t.C
+	}
+	var canceledAt time.Time // when ctx cancellation was first observed
+	for {
+		select {
+		case out := <-done:
+			return out, false
+		case now := <-tick:
+			if ctx.Err() != nil {
+				// Canceled (client, deadline, watchdog or shutdown): a
+				// healthy grid unwinds at its next interrupt poll. One that
+				// does not is wedged — abandon it so the executor moves on.
+				if canceledAt.IsZero() {
+					canceledAt = now
+				} else if now.Sub(canceledAt) > s.abandonGrace {
+					s.cfg.Logger.Info("job abandoned", "job", j.id,
+						"cause", context.Cause(ctx), "grace", s.abandonGrace)
+					return jobOutcome{}, true
+				}
+				continue
+			}
+			if s.cfg.StallTimeout > 0 {
+				idle := now.Sub(time.Unix(0, lastBeat.Load()))
+				if idle >= s.cfg.StallTimeout {
+					s.mu.Lock()
+					s.reg.Counter("service.watchdog.kills").Inc()
+					s.mu.Unlock()
+					s.cfg.Logger.Info("watchdog kill", "job", j.id, "idle", idle)
+					cancelCause(fmt.Errorf("%w: no progress heartbeat for %v (stall timeout %v)",
+						errWatchdogStall, idle.Round(time.Millisecond), s.cfg.StallTimeout))
+				}
+			}
+		}
+	}
+}
+
+// classify maps a supervised job's ending to its terminal state, error
+// message, and whether it is retryable-by-resubmit (crashed).
+func classify(ctx context.Context, err error, abandoned bool, deadline time.Duration) (state, errMsg string, crashed bool) {
+	cause := context.Cause(ctx)
+	switch {
+	case abandoned:
+		return StateFailed, fmt.Sprintf(
+			"failed by watchdog: %v; the job did not unwind after cancellation and was abandoned", cause), true
+	case err == nil:
+		return StateDone, "", false
+	case errors.Is(cause, errWatchdogStall):
+		// A stall is environmental (a wedged cell, injected latency), not a
+		// property of the request: resubmitting retries it.
+		return StateFailed, fmt.Sprintf("failed by watchdog: %v", cause), true
+	case errors.Is(cause, errJobDeadline):
+		return StateFailed, fmt.Sprintf("job deadline (%v) exceeded: %v", deadline, err), false
+	case errors.Is(cause, errClientCancel):
+		return StateCanceled, fmt.Sprintf("canceled: %v", err), false
+	case ctx.Err() != nil && !errors.As(err, new(*sim.PanicError)):
+		// Shutdown (the base context) or any other external cancellation.
+		return StateCanceled, fmt.Sprintf("canceled: %v", err), false
+	default:
+		return StateFailed, err.Error(), false
+	}
+}
+
 // finishLocked moves a job to a terminal state, publishes the terminal
 // event, releases subscribers, and enters the job into the completed
-// LRU (possibly evicting the oldest completed job entirely). Callers
-// hold s.mu.
-func (s *Service) finishLocked(j *job, state, errMsg string, report []byte) {
+// LRU (possibly evicting the oldest completed job entirely). It returns
+// the IDs of any evicted jobs so callers can journal the evictions.
+// Callers hold s.mu.
+func (s *Service) finishLocked(j *job, state, errMsg string, report []byte, crashed bool) []string {
 	j.state = state
 	j.errMsg = errMsg
 	j.report = report
+	j.crashed = crashed
 	j.finished = time.Now()
 	j.cancel = nil
 	switch state {
@@ -435,6 +813,7 @@ func (s *Service) finishLocked(j *job, state, errMsg string, report []byte) {
 	}
 	j.subs = nil
 	s.lru = append(s.lru, j.id)
+	var evicted []string
 	for len(s.lru) > s.cfg.CacheSize {
 		evict := s.lru[0]
 		s.lru = s.lru[1:]
@@ -446,7 +825,9 @@ func (s *Service) finishLocked(j *job, state, errMsg string, report []byte) {
 			}
 		}
 		s.reg.Counter("service.cache.evictions").Inc()
+		evicted = append(evicted, evict)
 	}
+	return evicted
 }
 
 // touchLocked refreshes a completed job's LRU position on a cache hit.
@@ -461,36 +842,40 @@ func (s *Service) touchLocked(id string) {
 }
 
 // subscribe attaches an SSE subscriber to a job and returns its channel
-// plus the current status event. A terminal job returns a nil channel —
-// the current event is the last one. Channel sends never block: a
-// subscriber that falls more than a buffer behind loses intermediate
-// progress events but always receives the terminal one (the channel is
-// drained by the handler until closed).
-func (s *Service) subscribe(id string) (<-chan []byte, []byte, bool) {
+// plus the current status event (stamped with the job's latest event
+// ID, so reconnecting clients can tell whether they already saw it). A
+// terminal job returns a nil channel — the current event is the last
+// one. Channel sends never block: a subscriber that falls more than a
+// buffer behind loses intermediate progress events but always receives
+// the terminal one (the channel is drained by the handler until
+// closed).
+func (s *Service) subscribe(id string) (<-chan jobEvent, jobEvent, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
-		return nil, nil, false
+		return nil, jobEvent{}, false
 	}
-	cur := j.statusEvent()
+	cur := jobEvent{id: j.seq, body: j.statusEvent()}
 	if j.state != StateQueued && j.state != StateRunning {
 		return nil, cur, true
 	}
-	ch := make(chan []byte, 64)
+	ch := make(chan jobEvent, 64)
 	j.subs = append(j.subs, ch)
 	return ch, cur, true
 }
 
 // broadcastLocked pushes the job's current status event to every
-// subscriber. Callers hold s.mu. A full subscriber buffer drops the
-// event — except terminal events, which always land because the channel
-// buffer (64) exceeds any backlog a handler can leave while draining.
+// subscriber, advancing the job's event sequence. Callers hold s.mu. A
+// full subscriber buffer drops the event — except terminal events,
+// which always land because the channel buffer (64) exceeds any backlog
+// a handler can leave while draining.
 func (s *Service) broadcastLocked(j *job) {
+	j.seq++
 	if len(j.subs) == 0 {
 		return
 	}
-	ev := j.statusEvent()
+	ev := jobEvent{id: j.seq, body: j.statusEvent()}
 	for _, ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -502,14 +887,17 @@ func (s *Service) broadcastLocked(j *job) {
 // Status is the job document served by GET /jobs/{id} and streamed over
 // SSE. Terminal states carry either ReportURL (done) or Error.
 type Status struct {
-	ID        string  `json:"id"`
-	State     string  `json:"state"`
-	Done      int     `json:"done"`
-	Total     int     `json:"total"`
-	Dedups    uint64  `json:"dedups"`
-	Error     string  `json:"error,omitempty"`
-	ReportURL string  `json:"report_url,omitempty"`
-	Request   Request `json:"request"`
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Done      int    `json:"done"`
+	Total     int    `json:"total"`
+	Dedups    uint64 `json:"dedups"`
+	Error     string `json:"error,omitempty"`
+	ReportURL string `json:"report_url,omitempty"`
+	// Crashed marks a failure the process caused (crash, watchdog
+	// abandonment) rather than the request; resubmitting retries it.
+	Crashed bool    `json:"crashed,omitempty"`
+	Request Request `json:"request"`
 }
 
 // statusLocked freezes a job's Status. Callers hold s.mu (or own the
@@ -522,6 +910,7 @@ func (j *job) statusLocked() Status {
 		Total:   j.total,
 		Dedups:  j.dedups,
 		Error:   j.errMsg,
+		Crashed: j.crashed,
 		Request: j.req,
 	}
 	if j.state == StateDone {

@@ -44,7 +44,10 @@ func smallTables(t *testing.T) *timing.TableSet {
 func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	t.Helper()
 	cfg.Tables = smallTables(t)
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("starting service: %v", err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -61,12 +64,13 @@ func newIdleService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	cfg.applyDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:     cfg,
-		jobs:    make(map[string]*job),
-		queue:   make(chan *job, cfg.QueueDepth),
-		reg:     metrics.NewRegistry(),
-		baseCtx: ctx,
-		stop:    cancel,
+		cfg:          cfg,
+		abandonGrace: abandonGraceDefault,
+		jobs:         make(map[string]*job),
+		queue:        make(chan *job, cfg.QueueDepth),
+		reg:          metrics.NewRegistry(),
+		baseCtx:      ctx,
+		stop:         cancel,
 	}
 	s.routes()
 	ts := httptest.NewServer(s.Handler())
@@ -224,8 +228,8 @@ func TestCacheEviction(t *testing.T) {
 	svc.mu.Lock()
 	svc.jobs["job-a"], svc.jobs["job-b"] = a, b
 	svc.order = []string{"job-a", "job-b"}
-	svc.finishLocked(a, StateDone, "", []byte("{}"))
-	svc.finishLocked(b, StateDone, "", []byte("{}"))
+	svc.finishLocked(a, StateDone, "", []byte("{}"), false)
+	svc.finishLocked(b, StateDone, "", []byte("{}"), false)
 	svc.mu.Unlock()
 
 	st := svc.StatsSnapshot()
@@ -301,9 +305,11 @@ func TestEndToEndRoundTrip(t *testing.T) {
 		t.Fatalf("cache hit changed the job ID: %q vs %q", hit.ID, sub.ID)
 	}
 
-	// The SSE stream of a terminal job delivers exactly the final status.
+	// The SSE stream of a terminal job delivers exactly the final status,
+	// id-stamped so reconnecting clients can resume with Last-Event-ID.
 	events := getBody(t, ts.URL+"/jobs/"+sub.ID+"/events")
-	if !strings.HasPrefix(string(events), "data: ") || !strings.Contains(string(events), `"state":"done"`) {
+	if !strings.HasPrefix(string(events), "id: ") || !strings.Contains(string(events), "\ndata: ") ||
+		!strings.Contains(string(events), `"state":"done"`) {
 		t.Fatalf("terminal SSE stream malformed: %q", events)
 	}
 

@@ -1,0 +1,470 @@
+package service
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"ladder/internal/chaos"
+)
+
+// The durable job store: an append-only job-lifecycle journal plus
+// fsync'd report blobs under a state directory, replayed on boot so a
+// restarted service serves completed reports byte-identically and
+// either re-queues or fails-by-crash whatever the previous process left
+// unfinished. Layout:
+//
+//	<state-dir>/journal.jsonl     one JSON record per line, fsync'd per append
+//	<state-dir>/reports/<id>.json completed grid reports, exact served bytes
+//
+// The journal is the source of truth for job existence and state; a
+// report blob is only trusted when the journal's done record carries
+// its matching content hash (a crash between blob rename and journal
+// append leaves an orphaned blob that replay ignores). On boot the
+// journal is compacted: replay resolves every job to its current state,
+// then a fresh journal holding exactly those records is atomically
+// swapped in, so journal size is bounded by retained jobs rather than
+// by lifetime job churn.
+//
+// Store write failures are deliberately non-fatal: the service keeps
+// serving from memory, the first failure is retained (Err) so readiness
+// probes can report degraded durability, and every failure is counted.
+
+// Journal record types. A job's lifecycle appends accepted → started →
+// (done | failed | canceled); evicted marks a completed job whose
+// report the LRU dropped, and replay forgets it entirely.
+const (
+	recAccepted = "accepted"
+	recStarted  = "started"
+	recDone     = "done"
+	recFailed   = "failed"
+	recCanceled = "canceled"
+	recEvicted  = "evicted"
+)
+
+// journalRecord is one line of journal.jsonl.
+type journalRecord struct {
+	T   string   `json:"t"`
+	Job string   `json:"job"`
+	Req *Request `json:"req,omitempty"`   // accepted records only
+	Err string   `json:"error,omitempty"` // failed/canceled records
+	// Crash marks a failed record written by crash recovery (the job was
+	// interrupted, not rejected by the simulator), which keeps the job
+	// resubmittable across further restarts.
+	Crash bool `json:"crash,omitempty"`
+	// SHA is the hex SHA-256 of the report blob a done record vouches for.
+	SHA string `json:"report_sha256,omitempty"`
+}
+
+// RecoveredJob is one job reconstructed from the journal, in journal
+// order. State is StateQueued for jobs to re-enqueue and a terminal
+// state otherwise; Report is the exact blob bytes for done jobs.
+type RecoveredJob struct {
+	ID      string
+	Req     Request
+	State   string
+	ErrMsg  string
+	Report  []byte
+	Crashed bool
+}
+
+// Recovery summarizes one boot replay.
+type Recovery struct {
+	// Jobs lists every retained job in journal order.
+	Jobs []RecoveredJob
+	// Requeued counts jobs returned to the pending queue (accepted but
+	// never started before the previous process exited).
+	Requeued int
+	// FailedByCrash counts jobs marked failed because the previous
+	// process died mid-run (or their report blob was lost).
+	FailedByCrash int
+	// CorruptRecords counts journal lines that did not parse — a torn
+	// final append from a crash is the expected case — plus done records
+	// whose report blob was missing or failed its hash check.
+	CorruptRecords int
+}
+
+// Store is the durable half of a Service. A nil *Store is valid and
+// turns every method into a no-op, so the in-memory service runs the
+// same code paths.
+type Store struct {
+	dir string
+
+	mu        sync.Mutex
+	f         *os.File
+	err       error // first write failure, sticky (readiness signal)
+	writeErrs uint64
+}
+
+// OpenStore opens (creating if needed) a state directory, replays its
+// journal, compacts it, and returns the store ready for appends plus
+// what the replay recovered.
+func OpenStore(dir string) (*Store, *Recovery, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "reports"), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("service: creating state dir: %w", err)
+	}
+	st := &Store{dir: dir}
+	rec, err := st.replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := st.compact(rec); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(st.journalPath(), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	st.f = f
+	return st, rec, nil
+}
+
+func (st *Store) journalPath() string { return filepath.Join(st.dir, "journal.jsonl") }
+
+func (st *Store) reportPath(id string) string {
+	return filepath.Join(st.dir, "reports", id+".json")
+}
+
+// Dir returns the state directory ("" on a nil store).
+func (st *Store) Dir() string {
+	if st == nil {
+		return ""
+	}
+	return st.dir
+}
+
+// replay scans the journal and resolves every job to its latest state.
+func (st *Store) replay() (*Recovery, error) {
+	rec := &Recovery{}
+	f, err := os.Open(st.journalPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return rec, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: reading journal: %w", err)
+	}
+	defer f.Close()
+
+	type replayState struct {
+		req     *Request
+		state   string // last record type seen
+		errMsg  string
+		crashed bool
+		sha     string
+	}
+	byID := make(map[string]*replayState)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r journalRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil || r.Job == "" || r.T == "" {
+			// A torn trailing append (crash mid-write) is expected; any
+			// unparseable line is counted and skipped, never fatal.
+			rec.CorruptRecords++
+			continue
+		}
+		js := byID[r.Job]
+		if js == nil {
+			js = &replayState{}
+			byID[r.Job] = js
+			order = append(order, r.Job)
+		}
+		switch r.T {
+		case recAccepted:
+			if r.Req != nil {
+				js.req = r.Req
+			}
+			js.state = recAccepted
+			// A re-accept (resubmit after cancel) resets the terminal info.
+			js.errMsg, js.crashed, js.sha = "", false, ""
+		case recStarted, recDone, recFailed, recCanceled, recEvicted:
+			js.state = r.T
+			js.errMsg, js.crashed, js.sha = r.Err, r.Crash, r.SHA
+		default:
+			rec.CorruptRecords++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: scanning journal: %w", err)
+	}
+
+	for _, id := range order {
+		js := byID[id]
+		if js.state == recEvicted {
+			os.Remove(st.reportPath(id)) //nolint:errcheck // best-effort cleanup
+			continue
+		}
+		if js.req == nil {
+			// No surviving accepted record: nothing to rebuild the job from.
+			rec.CorruptRecords++
+			continue
+		}
+		j := RecoveredJob{ID: id, Req: *js.req, ErrMsg: js.errMsg, Crashed: js.crashed}
+		switch js.state {
+		case recAccepted:
+			j.State = StateQueued
+			rec.Requeued++
+		case recStarted:
+			j.State = StateFailed
+			j.ErrMsg = "failed by crash: the previous service process exited mid-run"
+			j.Crashed = true
+			rec.FailedByCrash++
+		case recDone:
+			report, err := st.loadReport(id, js.sha)
+			if err != nil {
+				j.State = StateFailed
+				j.ErrMsg = fmt.Sprintf("failed by crash: completed report lost (%v)", err)
+				j.Crashed = true
+				rec.FailedByCrash++
+				rec.CorruptRecords++
+			} else {
+				j.State = StateDone
+				j.Report = report
+			}
+		case recFailed:
+			j.State = StateFailed
+		case recCanceled:
+			j.State = StateCanceled
+		}
+		rec.Jobs = append(rec.Jobs, j)
+	}
+	return rec, nil
+}
+
+// loadReport reads a done job's blob and checks it against the hash the
+// journal recorded for it.
+func (st *Store) loadReport(id, wantSHA string) ([]byte, error) {
+	b, err := os.ReadFile(st.reportPath(id))
+	if err != nil {
+		return nil, err
+	}
+	if got := sha256Hex(b); got != wantSHA {
+		return nil, fmt.Errorf("report blob hash mismatch (have %.8s, journal says %.8s)", got, wantSHA)
+	}
+	return b, nil
+}
+
+// compact atomically rewrites the journal to exactly the replayed
+// state: one accepted record per retained job, plus its terminal record
+// if it has one. Run before the journal reopens for appends, so a
+// journal's size is bounded by retained jobs, not lifetime churn.
+func (st *Store) compact(rec *Recovery) error {
+	tmp := st.journalPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	writeRec := func(r journalRecord) {
+		b, _ := json.Marshal(r) //nolint:errcheck // plain data, cannot fail
+		w.Write(b)              //nolint:errcheck // checked via Flush below
+		w.WriteByte('\n')       //nolint:errcheck
+	}
+	for _, j := range rec.Jobs {
+		req := j.Req
+		writeRec(journalRecord{T: recAccepted, Job: j.ID, Req: &req})
+		switch j.State {
+		case StateDone:
+			writeRec(journalRecord{T: recDone, Job: j.ID, SHA: sha256Hex(j.Report)})
+		case StateFailed:
+			writeRec(journalRecord{T: recFailed, Job: j.ID, Err: j.ErrMsg, Crash: j.Crashed})
+		case StateCanceled:
+			writeRec(journalRecord{T: recCanceled, Job: j.ID, Err: j.ErrMsg})
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp, st.journalPath()); err != nil {
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	syncDir(st.dir)
+	return nil
+}
+
+// append journals one record: marshal, write, fsync. Failures are
+// sticky and counted, never fatal — the service degrades to in-memory
+// operation and readiness reports it.
+func (st *Store) append(r journalRecord) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := chaos.Hit("service.journal.append"); err != nil {
+		st.noteErrLocked(fmt.Errorf("journal append: %w", err))
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		st.noteErrLocked(fmt.Errorf("journal append: %w", err))
+		return
+	}
+	if _, err := st.f.Write(append(b, '\n')); err != nil {
+		st.noteErrLocked(fmt.Errorf("journal append: %w", err))
+		return
+	}
+	if err := st.f.Sync(); err != nil {
+		st.noteErrLocked(fmt.Errorf("journal sync: %w", err))
+	}
+}
+
+func (st *Store) noteErrLocked(err error) {
+	st.writeErrs++
+	if st.err == nil {
+		st.err = err
+	}
+}
+
+// Accepted journals a job's admission (or re-admission on resubmit
+// after cancel) with its normalized request.
+func (st *Store) Accepted(id string, req Request) {
+	st.append(journalRecord{T: recAccepted, Job: id, Req: &req})
+}
+
+// Started journals the queued→running transition. A job with a started
+// record but no terminal one is failed-by-crash on the next boot.
+func (st *Store) Started(id string) {
+	st.append(journalRecord{T: recStarted, Job: id})
+}
+
+// Done persists a completed report durably: blob first (temp file,
+// fsync, atomic rename), then the journal record vouching for its hash.
+// A crash between the two leaves an orphaned blob that replay ignores —
+// never a journal record pointing at bytes that were not fully written.
+func (st *Store) Done(id string, report []byte) {
+	if st == nil {
+		return
+	}
+	if err := st.writeReport(id, report); err != nil {
+		st.mu.Lock()
+		st.noteErrLocked(err)
+		st.mu.Unlock()
+		return
+	}
+	st.append(journalRecord{T: recDone, Job: id, SHA: sha256Hex(report)})
+}
+
+// Failed journals a terminal failure; crash marks recovery-written
+// failures that stay resubmittable.
+func (st *Store) Failed(id, errMsg string, crash bool) {
+	st.append(journalRecord{T: recFailed, Job: id, Err: errMsg, Crash: crash})
+}
+
+// Canceled journals an explicit cancellation. Shutdown-drained queued
+// jobs are deliberately NOT journaled as canceled: their accepted
+// records survive, so a restart re-queues them.
+func (st *Store) Canceled(id, errMsg string) {
+	st.append(journalRecord{T: recCanceled, Job: id, Err: errMsg})
+}
+
+// Evicted journals an LRU eviction and removes the report blob; replay
+// forgets the job entirely.
+func (st *Store) Evicted(id string) {
+	if st == nil {
+		return
+	}
+	st.append(journalRecord{T: recEvicted, Job: id})
+	os.Remove(st.reportPath(id)) //nolint:errcheck // best-effort cleanup
+}
+
+// writeReport lands a blob durably: temp file, fsync, rename, dir sync.
+func (st *Store) writeReport(id string, report []byte) error {
+	if err := chaos.Hit("service.report.write"); err != nil {
+		return fmt.Errorf("report write: %w", err)
+	}
+	path := st.reportPath(id)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("report write: %w", err)
+	}
+	if _, err := f.Write(report); err != nil {
+		f.Close()
+		return fmt.Errorf("report write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("report sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("report close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("report rename: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// Err returns the first write failure (nil while the store is healthy).
+// Sticky: once durability is lost the readiness probe stays degraded
+// until the operator restarts with a writable state dir.
+func (st *Store) Err() error {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// WriteErrs counts append/blob failures since boot.
+func (st *Store) WriteErrs() uint64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.writeErrs
+}
+
+// Close closes the journal file.
+func (st *Store) Close() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f != nil {
+		st.f.Close() //nolint:errcheck // appends are already fsync'd
+		st.f = nil
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // best-effort
+	d.Close()
+}
+
+// sha256Hex is the journal's content-hash form for report blobs.
+func sha256Hex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ladder/internal/chaos"
+)
+
+func testRequest(t *testing.T) Request {
+	t.Helper()
+	req := Request{Workloads: []string{"astar"}, Schemes: []string{"Baseline"}}
+	if err := req.normalize(0); err != nil {
+		t.Fatalf("normalizing fixture request: %v", err)
+	}
+	return req
+}
+
+// reopen closes a store and opens its directory again, returning the
+// replayed recovery — the crash-restart primitive every test builds on.
+func reopen(t *testing.T, st *Store) (*Store, *Recovery) {
+	t.Helper()
+	dir := st.Dir()
+	st.Close()
+	st2, rec, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	t.Cleanup(st2.Close)
+	return st2, rec
+}
+
+// TestStoreRoundTrip pins the tentpole guarantee: a completed report
+// written before a restart is recovered byte-identically after it.
+func TestStoreRoundTrip(t *testing.T) {
+	st, rec, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	if len(rec.Jobs) != 0 {
+		t.Fatalf("fresh store recovered %d jobs", len(rec.Jobs))
+	}
+	req := testRequest(t)
+	report := []byte(`{"schema":"test","cells":[1,2,3]}`)
+	st.Accepted("job-1", req)
+	st.Started("job-1")
+	st.Done("job-1", report)
+	if err := st.Err(); err != nil {
+		t.Fatalf("store degraded: %v", err)
+	}
+
+	_, rec = reopen(t, st)
+	if len(rec.Jobs) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(rec.Jobs))
+	}
+	j := rec.Jobs[0]
+	if j.ID != "job-1" || j.State != StateDone || j.Crashed {
+		t.Fatalf("recovered job = %+v, want done job-1", j)
+	}
+	if string(j.Report) != string(report) {
+		t.Fatalf("report not byte-identical: %q vs %q", j.Report, report)
+	}
+	if len(j.Req.Workloads) != 1 || j.Req.Workloads[0] != "astar" {
+		t.Fatalf("request did not round-trip: %+v", j.Req)
+	}
+}
+
+// TestStoreCrashStates pins the two interrupted-job outcomes: accepted
+// but never started re-queues; started but never finished comes back
+// failed-by-crash (and stays failed across a further restart).
+func TestStoreCrashStates(t *testing.T) {
+	st, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest(t)
+	st.Accepted("queued-job", req)
+	st.Accepted("running-job", req)
+	st.Started("running-job")
+
+	_, rec := reopen(t, st)
+	if rec.Requeued != 1 || rec.FailedByCrash != 1 {
+		t.Fatalf("requeued %d failed-by-crash %d, want 1/1", rec.Requeued, rec.FailedByCrash)
+	}
+	byID := map[string]RecoveredJob{}
+	for _, j := range rec.Jobs {
+		byID[j.ID] = j
+	}
+	if j := byID["queued-job"]; j.State != StateQueued {
+		t.Fatalf("accepted-only job recovered as %q, want queued", j.State)
+	}
+	j := byID["running-job"]
+	if j.State != StateFailed || !j.Crashed || !strings.Contains(j.ErrMsg, "crash") {
+		t.Fatalf("interrupted job recovered as %+v, want crashed failure", j)
+	}
+
+	// A second restart must not resurrect it as running: the compacted
+	// journal already holds the terminal crash record.
+	st2, _, err := OpenStore(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec2 := reopen(t, st2)
+	if rec2.FailedByCrash != 0 {
+		t.Fatalf("second restart re-counted failed-by-crash: %d", rec2.FailedByCrash)
+	}
+	for _, j := range rec2.Jobs {
+		if j.ID == "running-job" && (j.State != StateFailed || !j.Crashed) {
+			t.Fatalf("crash failure did not persist: %+v", j)
+		}
+	}
+}
+
+// TestStoreTornTrailingLine pins crash tolerance in the journal itself:
+// a half-written final record (the classic torn append) is counted and
+// skipped, never fatal, and everything before it replays intact.
+func TestStoreTornTrailingLine(t *testing.T) {
+	st, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Accepted("job-1", testRequest(t))
+	dir := st.Dir()
+	st.Close()
+	f, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"done","job":"job-1","repor`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, rec, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("torn journal must not be fatal: %v", err)
+	}
+	defer st2.Close()
+	if rec.CorruptRecords != 1 {
+		t.Fatalf("corrupt records = %d, want 1", rec.CorruptRecords)
+	}
+	if len(rec.Jobs) != 1 || rec.Jobs[0].State != StateQueued {
+		t.Fatalf("intact prefix lost: %+v", rec.Jobs)
+	}
+}
+
+// TestStoreCorruptBlob: a done record whose report blob was lost or
+// corrupted (hash mismatch) degrades to failed-by-crash instead of
+// serving wrong bytes.
+func TestStoreCorruptBlob(t *testing.T) {
+	st, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Accepted("job-1", testRequest(t))
+	st.Done("job-1", []byte(`{"good":true}`))
+	if err := os.WriteFile(filepath.Join(st.Dir(), "reports", "job-1.json"), []byte(`{"tampered":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := reopen(t, st)
+	if rec.FailedByCrash != 1 {
+		t.Fatalf("failed-by-crash = %d, want 1", rec.FailedByCrash)
+	}
+	j := rec.Jobs[0]
+	if j.State != StateFailed || !j.Crashed || !strings.Contains(j.ErrMsg, "hash mismatch") {
+		t.Fatalf("corrupt blob recovered as %+v", j)
+	}
+}
+
+// TestStoreEviction: an evicted job is forgotten entirely on replay and
+// its blob removed from disk.
+func TestStoreEviction(t *testing.T) {
+	st, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Accepted("job-1", testRequest(t))
+	st.Done("job-1", []byte(`{}`))
+	st.Evicted("job-1")
+	blob := filepath.Join(st.Dir(), "reports", "job-1.json")
+	if _, err := os.Stat(blob); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("evicted blob still on disk (err=%v)", err)
+	}
+
+	_, rec := reopen(t, st)
+	if len(rec.Jobs) != 0 {
+		t.Fatalf("evicted job resurrected: %+v", rec.Jobs)
+	}
+}
+
+// TestStoreCanceledThenResubmitted: a cancel record is terminal, but a
+// later re-accept resets the lifecycle — the job replays as queued.
+func TestStoreCanceledThenResubmitted(t *testing.T) {
+	st, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest(t)
+	st.Accepted("job-1", req)
+	st.Canceled("job-1", "canceled before execution")
+	st.Accepted("job-1", req)
+
+	_, rec := reopen(t, st)
+	if len(rec.Jobs) != 1 || rec.Jobs[0].State != StateQueued || rec.Jobs[0].ErrMsg != "" {
+		t.Fatalf("re-accepted job replays as %+v, want clean queued", rec.Jobs)
+	}
+}
+
+// TestStoreCompaction: boot compaction bounds the journal to the
+// retained state — a job's churn (accept/start/finish cycles) collapses
+// to at most two records.
+func TestStoreCompaction(t *testing.T) {
+	st, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest(t)
+	for range 10 {
+		st.Accepted("job-1", req)
+		st.Started("job-1")
+		st.Failed("job-1", "boom", false)
+	}
+	st2, _ := reopen(t, st)
+	b, err := os.ReadFile(filepath.Join(st2.Dir(), "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(b), "\n"); lines != 2 {
+		t.Fatalf("compacted journal has %d records, want 2 (accepted + failed):\n%s", lines, b)
+	}
+}
+
+// TestStoreWriteErrorIsStickyNotFatal drives the degraded-durability
+// path with the chaos harness: an injected journal-write failure is
+// counted and retained (readiness turns unready), but later appends
+// still go through — the service sheds durability, not availability.
+func TestStoreWriteErrorIsStickyNotFatal(t *testing.T) {
+	st, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	injected := errors.New("disk on fire")
+	chaos.Arm("service.journal.append", chaos.Action{Err: injected, Times: 1})
+	defer chaos.Reset()
+
+	st.Accepted("job-1", testRequest(t)) // eaten by the failpoint
+	if err := st.Err(); !errors.Is(err, injected) {
+		t.Fatalf("sticky error = %v, want the injected failure", err)
+	}
+	if st.WriteErrs() != 1 {
+		t.Fatalf("write errors = %d, want 1", st.WriteErrs())
+	}
+
+	// The failpoint disarmed itself (Times: 1): appends work again, the
+	// sticky error remains.
+	st.Accepted("job-2", testRequest(t))
+	if st.WriteErrs() != 1 {
+		t.Fatalf("healthy append counted as error: %d", st.WriteErrs())
+	}
+	if st.Err() == nil {
+		t.Fatal("sticky error cleared by a healthy append")
+	}
+}
+
+// TestStoreReportWriteFailure: an injected blob-write failure must keep
+// the journal free of a done record vouching for bytes that never
+// landed.
+func TestStoreReportWriteFailure(t *testing.T) {
+	st, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Accepted("job-1", testRequest(t))
+	chaos.Arm("service.report.write", chaos.Action{Err: errors.New("blob write lost"), Times: 1})
+	defer chaos.Reset()
+	st.Done("job-1", []byte(`{}`))
+	if st.Err() == nil {
+		t.Fatal("blob failure not recorded")
+	}
+
+	_, rec := reopen(t, st)
+	// No done record: the job replays from its accepted record (queued),
+	// not as done-with-missing-blob.
+	if len(rec.Jobs) != 1 || rec.Jobs[0].State != StateQueued {
+		t.Fatalf("job after failed blob write replays as %+v, want queued", rec.Jobs)
+	}
+}

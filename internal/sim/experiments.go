@@ -128,10 +128,14 @@ func RunGrid(opts Options, schemes []string) (*Grid, error) {
 
 // RunGridCtx is RunGrid under a context: once ctx is canceled — or any
 // cell fails — no further cell is dispatched, already-running cells
-// finish (a simulation is not interruptible mid-cycle), and every
-// failure is reported via errors.Join alongside the context's error. A
-// canceled grid is returned as an error, never as a silently partial
-// result.
+// abort at their next engine step (see RunCtx; a cell never stops
+// mid-cycle), and every failure is reported via errors.Join alongside
+// the context's error. A canceled grid is returned as an error, never
+// as a silently partial result.
+//
+// Workers are panic-isolated: a panicking scheme or workload converts
+// to that cell's error (a *PanicError carrying the stack) and joins the
+// other failures instead of crashing the process.
 //
 // Determinism: each cell runs with its own metrics registry and memory
 // image, and Grid/report iteration follows the Workloads×Schemes order
@@ -192,7 +196,7 @@ func RunGridCtx(ctx context.Context, opts Options, schemes []string) (*Grid, err
 					opts.CellProgress(c.w, c.s, p)
 				}
 			}
-			res, err := Run(cfg)
+			res, err := runCell(runCtx, cfg)
 			mu.Lock()
 			done++
 			n := done

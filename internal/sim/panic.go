@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic caught in a grid worker, converted into that
+// cell's error: the panic value plus the goroutine stack captured at
+// recovery. Before this isolation existed, one buggy scheme took down
+// the whole process — every other cell's work and, in service mode,
+// every other client's jobs. Callers that need to distinguish a panic
+// from an ordinary failure (the service counts them separately) unwrap
+// with errors.As.
+type PanicError struct {
+	// Value is what the panic was raised with.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery
+	// (runtime/debug.Stack form).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// runCell executes one grid cell under the grid's context with panic
+// isolation: a panicking scheme or workload becomes this cell's error —
+// stack attached — instead of crashing the process, so sibling cells
+// and the caller survive one bad policy.
+func runCell(ctx context.Context, cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return RunCtx(ctx, cfg)
+}

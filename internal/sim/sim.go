@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -214,6 +215,14 @@ type Config struct {
 	// live-streaming hook behind the introspection server's /timeline
 	// feed. Runs on the simulation goroutine, like Progress.
 	TimelineOnEpoch func(timeline.Epoch) `json:"-"`
+	// Interrupt, when set, is polled periodically during the execute and
+	// drain phases (every few thousand engine steps — far below any
+	// human-visible latency, far above per-cycle cost); a non-nil return
+	// aborts the run with that error wrapped. RunCtx wires a context's
+	// cancellation cause through this hook, which is how service-mode
+	// deadlines and watchdogs stop a running simulation at cycle
+	// granularity. Nil — the default — is never polled and costs nothing.
+	Interrupt func() error `json:"-"`
 }
 
 func (c *Config) applyDefaults() error {
@@ -385,6 +394,24 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return sys.collect()
+}
+
+// RunCtx is Run under a context: the run polls ctx between engine steps
+// and aborts with the context's cancellation cause once it is canceled
+// or its deadline passes. The poll happens at step granularity — a run
+// stops within microseconds of cancellation, never mid-cycle, so an
+// aborted run leaves no partial-cycle state behind (it returns no
+// Result at all). An explicit Config.Interrupt takes precedence.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Interrupt == nil && ctx != nil {
+		cfg.Interrupt = func() error {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			return nil
+		}
+	}
+	return Run(cfg)
 }
 
 // exportRunMetrics publishes the end-of-run scalars that are already

@@ -500,18 +500,33 @@ func (s *System) issue(coreID int, a trace.Access) bool {
 	return c.EnqueueRead(coreID, a.Line, now)
 }
 
+// interruptCheckEvery is how many engine steps (execute) or drain
+// iterations pass between Config.Interrupt polls. Steps are
+// microsecond-scale, so a canceled run stops within milliseconds while
+// the per-step overhead stays one counter increment.
+const interruptCheckEvery = 1024
+
 // execute is the execute phase: the engine steps from event to event
 // until every core exhausts its instruction budget. Cycles in which no
 // component can act are skipped wholesale — the wall-clock win of the
 // event-driven engine — while processed cycles replay the classic loop's
 // exact evaluation order.
 func (s *System) execute() error {
+	sinceCheck := 0
 	for s.running > 0 {
 		if !s.eng.Step() {
 			return fmt.Errorf("sim: simulation deadlock: %d cores blocked with no pending events", s.running)
 		}
 		if s.err != nil {
 			return s.err
+		}
+		if s.cfg.Interrupt != nil {
+			if sinceCheck++; sinceCheck >= interruptCheckEvery {
+				sinceCheck = 0
+				if err := s.cfg.Interrupt(); err != nil {
+					return fmt.Errorf("sim: run interrupted: %w", err)
+				}
+			}
 		}
 	}
 	return nil
@@ -537,9 +552,18 @@ func (s *System) drainRemaining() error {
 func (s *System) drain() error {
 	start := s.clock.Now()
 	now := start
+	sinceCheck := 0
 	for {
 		if now-start >= drainCap {
 			return fmt.Errorf("sim: controllers failed to drain within %d cycles (read/write queues wedged)", drainCap)
+		}
+		if s.cfg.Interrupt != nil {
+			if sinceCheck++; sinceCheck >= interruptCheckEvery {
+				sinceCheck = 0
+				if err := s.cfg.Interrupt(); err != nil {
+					return fmt.Errorf("sim: drain interrupted: %w", err)
+				}
+			}
 		}
 		idle := true
 		active := false
